@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: does the UTLB argument still hold 25 years later?
+ *
+ * The paper's case for UTLB rests on its 1998 cost structure:
+ * interrupts at 10 us and page pinning at 27 us dwarfed the ~2 us
+ * I/O-bus refill of a host-resident table entry. This ablation
+ * reruns the Table 6 comparison under a ModernX86 host profile
+ * (MSI-X interrupt ~2 us, get_user_pages fast path ~0.6 us/page,
+ * sub-0.1 us user checks) while keeping the workloads identical.
+ *
+ * Expected outcome: UTLB's *relative* advantage shrinks by an order
+ * of magnitude because the costs it avoids got cheap — which is the
+ * historical trajectory: its descendant (the registration cache,
+ * see bench_ablation_rcache) kept the demand-registration idea but
+ * dropped the NIC-managed translation cache machinery.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::core::HostProfile;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::simulateIntr;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    const std::vector<std::string> apps{"barnes", "fft", "radix",
+                                        "water"};
+
+    utlb::sim::TextTable t(
+        "Average lookup cost (us) under 1998 vs modern host costs "
+        "(1K-entry cache, infinite memory)");
+    t.setHeader({"workload", "1998 UTLB", "1998 Intr", "1998 gain",
+                 "modern UTLB", "modern Intr", "modern gain"});
+
+    for (const auto &app : apps) {
+        const auto &tr = traces.get(app);
+        SimConfig cfg;
+        cfg.cache = {1024, 1, true};
+
+        cfg.hostProfile = HostProfile::PentiumIINT;
+        auto u98 = simulateUtlb(tr, cfg);
+        auto i98 = simulateIntr(tr, cfg);
+
+        cfg.hostProfile = HostProfile::ModernX86;
+        auto u20 = simulateUtlb(tr, cfg);
+        auto i20 = simulateIntr(tr, cfg);
+
+        auto gain = [](double u, double i) {
+            return utlb::sim::TextTable::num(u > 0 ? i / u : 0.0, 2)
+                + "x";
+        };
+        t.addRow({app, rate(u98.avgLookupCostUs()),
+                  rate(i98.avgLookupCostUs()),
+                  gain(u98.avgLookupCostUs(), i98.avgLookupCostUs()),
+                  rate(u20.avgLookupCostUs()),
+                  rate(i20.avgLookupCostUs()),
+                  gain(u20.avgLookupCostUs(),
+                       i20.avgLookupCostUs())});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading the table: on 1998 hardware UTLB wins "
+                 "1.5-3.7x by dodging 10 us interrupts and 27 us "
+                 "pins; on a modern\nhost those costs are ~2 us and "
+                 "~0.6 us, so the two mechanisms nearly converge — "
+                 "the NIC-side translation cache\n(0.8 us hit, ~2 us "
+                 "refill, unchanged: it is bound by the I/O bus) now "
+                 "dominates both. This is why modern\nstacks kept "
+                 "demand registration (the rcache) and moved "
+                 "translation into NIC hardware MMUs.\n";
+    return 0;
+}

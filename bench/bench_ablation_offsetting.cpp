@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: index offsetting x associativity (extends Table 8's
+ * discussion in §6.3).
+ *
+ * The paper reports that (a) offsetting makes direct-mapped
+ * competitive with set-associative caches, (b) offsetting "may
+ * interfere with set-associativity", and (c) once per-probe cost is
+ * considered, set-associativity loses because the firmware checks
+ * one way at a time. This ablation crosses both axes and also
+ * reports the cost-weighted outcome, for a single representative
+ * cache size.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    auto names = workloadNames();
+    constexpr std::size_t kEntries = 4096;
+
+    utlb::sim::TextTable t(
+        "Ablation: offsetting x associativity at 4K entries "
+        "(miss rate | avg NIC cost per probe, us)");
+    std::vector<std::string> header{"Assoc", "Offset"};
+    for (const auto &n : names)
+        header.push_back(n);
+    t.setHeader(header);
+
+    for (unsigned assoc : {1u, 2u, 4u}) {
+        for (bool offset : {true, false}) {
+            std::vector<std::string> row{
+                std::to_string(assoc) + "-way",
+                offset ? "yes" : "no"};
+            for (const auto &n : names) {
+                SimConfig cfg;
+                cfg.cache = {kEntries, assoc, offset};
+                auto res = simulateUtlb(traces.get(n), cfg);
+                row.push_back(rate(res.probeMissRate()) + " | "
+                              + rate(res.avgProbeCostUs()));
+            }
+            t.addRow(row);
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape checks: direct+offset is within noise of "
+                 "2/4-way on miss rate but strictly cheaper per "
+                 "probe\n(sequential way probing); dropping the "
+                 "offset is catastrophic at any associativity "
+                 "because the five\nprocesses' identical page "
+                 "numbers collide.\n";
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablation: Per-process UTLB vs Shared UTLB-Cache (§3.1 vs §3.2).
+ *
+ * §7 lists this as unexplored: "we have not compared the per-process
+ * UTLB with Shared UTLB-Cache approach because we lack multiple
+ * program traces." Our synthetic multiprogrammed traces make the
+ * comparison possible: the per-process design statically partitions
+ * NIC SRAM into five fixed tables, while the shared cache lets the
+ * five processes compete for the same entries. We sweep the total
+ * NIC SRAM budget and report pin traffic (the per-process design's
+ * capacity evictions force unpins) against the shared design's
+ * cache misses (cheap DMA refills, no unpins).
+ */
+
+#include "bench_common.hpp"
+
+#include <map>
+#include <memory>
+
+#include "core/per_process_utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+
+namespace {
+
+using namespace utlb;
+
+struct PerProcResult {
+    std::uint64_t checkMissLookups = 0;
+    std::uint64_t pagesPinned = 0;
+    std::uint64_t pagesUnpinned = 0;
+    double hostUs = 0.0;
+};
+
+/** Replay a trace through five per-process NIC tables. */
+PerProcResult
+runPerProcess(const trace::Trace &tr, std::size_t entries_per_proc)
+{
+    auto shape = trace::measure(tr);
+    mem::PhysMemory phys_mem(shape.distinctPages * 2 + 1024);
+    mem::PinFacility pins;
+    nic::Sram sram(4u << 20);
+    nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache({64, 1, true}, timings);  // unused
+    core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+
+    std::map<mem::ProcId,
+             std::unique_ptr<mem::AddressSpace>> spaces;
+    std::map<mem::ProcId,
+             std::unique_ptr<core::PerProcessUtlb>> tables;
+
+    PerProcResult res;
+    for (const auto &rec : tr) {
+        if (!tables.count(rec.pid)) {
+            auto space = std::make_unique<mem::AddressSpace>(
+                rec.pid, phys_mem);
+            driver.registerProcess(*space);
+            spaces.emplace(rec.pid, std::move(space));
+            core::PerProcessConfig cfg;
+            cfg.tableEntries = entries_per_proc;
+            tables.emplace(rec.pid,
+                           std::make_unique<core::PerProcessUtlb>(
+                               driver, rec.pid, cfg));
+        }
+        auto lk = tables.at(rec.pid)->lookup(rec.va, rec.nbytes);
+        if (lk.checkMiss)
+            ++res.checkMissLookups;
+        res.pagesPinned += lk.pagesPinned;
+        res.pagesUnpinned += lk.pagesUnpinned;
+        res.hostUs += sim::ticksToUs(lk.hostCost);
+    }
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bench;
+    using tlbsim::SimConfig;
+    using tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    auto names = workloadNames();
+
+    utlb::sim::TextTable t(
+        "Ablation: per-process UTLB tables vs Shared UTLB-Cache, "
+        "same total NIC SRAM (unpins per lookup | host+NIC cost "
+        "proxy, us per lookup)");
+    std::vector<std::string> header{"Total entries", "Design"};
+    for (const auto &n : names)
+        header.push_back(n);
+    t.setHeader(header);
+
+    const std::vector<std::size_t> budgets{2048, 8192, 32768};
+    for (std::size_t total : budgets) {
+        std::vector<std::string> pp_row{
+            utlb::sim::TextTable::num(std::uint64_t{total}),
+            "per-process (/5)"};
+        std::vector<std::string> sh_row{"", "shared cache"};
+        for (const auto &n : names) {
+            const auto &tr = traces.get(n);
+            auto pp = runPerProcess(tr, total / 5);
+            double pp_cost = pp.hostUs
+                + 0.8 * static_cast<double>(tr.size());
+            pp_row.push_back(rate(
+                static_cast<double>(pp.pagesUnpinned)
+                / static_cast<double>(tr.size()))
+                + " | " + rate(pp_cost
+                               / static_cast<double>(tr.size())));
+
+            SimConfig cfg;
+            cfg.cache = {total, 1, true};
+            auto sh = simulateUtlb(tr, cfg);
+            sh_row.push_back(rate(sh.unpinsPerLookup()) + " | "
+                             + rate(sh.avgLookupCostUs()));
+        }
+        t.addRow(pp_row);
+        t.addRow(sh_row);
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape checks: with small SRAM budgets the "
+                 "per-process split thrashes (capacity evictions "
+                 "force real unpins at\n~25 us each), while the "
+                 "shared cache degrades gracefully (misses refill "
+                 "over the I/O bus at ~2 us) —\nthe §3.2 motivation "
+                 "for moving translation tables to host memory.\n";
+    return 0;
+}

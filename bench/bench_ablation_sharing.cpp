@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablation: the shared translation cache under multiprogramming.
+ *
+ * The paper notes (§2) that prior translation-cache work did not
+ * "deal with the issues of a shared translation cache in a
+ * multiprogramming environment"; its own answer is the
+ * process-offset index hash. This ablation co-schedules two
+ * *different* programs on one node — water (small, hot footprint)
+ * next to fft (large, streaming footprint) — and reports each
+ * process group's miss rate and cache occupancy with and without
+ * offsetting, quantifying both interference and fairness.
+ */
+
+#include "bench_common.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/cost_model.hpp"
+#include "core/driver.hpp"
+#include "core/utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+
+namespace {
+
+using namespace utlb;
+using mem::ProcId;
+
+/** Merge two node traces into one, remapping the second's pids. */
+trace::Trace
+merge(const trace::Trace &a, const trace::Trace &b,
+      ProcId b_pid_offset)
+{
+    trace::Trace out;
+    out.reserve(a.size() + b.size());
+    std::size_t ia = 0, ib = 0;
+    // Proportional interleave.
+    while (ia < a.size() || ib < b.size()) {
+        double ra = ia < a.size()
+            ? static_cast<double>(ia) / static_cast<double>(a.size())
+            : 2.0;
+        double rb = ib < b.size()
+            ? static_cast<double>(ib) / static_cast<double>(b.size())
+            : 2.0;
+        trace::TraceRecord rec;
+        if (ra <= rb) {
+            rec = a[ia++];
+        } else {
+            rec = b[ib++];
+            rec.pid += b_pid_offset;
+        }
+        rec.seq = out.size();
+        out.push_back(rec);
+    }
+    return out;
+}
+
+/** Per-process-group miss statistics from a manual replay. */
+struct GroupStats {
+    std::uint64_t probes = 0;
+    std::uint64_t misses = 0;
+    std::size_t occupancy = 0;
+};
+
+/** Replay through real UTLB stacks, split stats by pid group. */
+std::pair<GroupStats, GroupStats>
+replay(const trace::Trace &tr, bool offsetting, ProcId split_pid)
+{
+    auto shape = trace::measure(tr);
+    mem::PhysMemory phys_mem(shape.distinctPages * 2 + 1024);
+    mem::PinFacility pins;
+    nic::Sram sram(4u << 20);
+    nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache({4096, 1, offsetting}, timings,
+                                &sram);
+    core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+
+    struct Proc {
+        std::unique_ptr<mem::AddressSpace> space;
+        std::unique_ptr<core::UserUtlb> utlb;
+    };
+    std::unordered_map<ProcId, Proc> procs;
+
+    GroupStats small_app, big_app;
+    for (const auto &rec : tr) {
+        auto it = procs.find(rec.pid);
+        if (it == procs.end()) {
+            Proc p;
+            p.space = std::make_unique<mem::AddressSpace>(rec.pid,
+                                                          phys_mem);
+            driver.registerProcess(*p.space);
+            p.utlb = std::make_unique<core::UserUtlb>(
+                driver, cache, timings, rec.pid, core::UtlbConfig{});
+            it = procs.emplace(rec.pid, std::move(p)).first;
+        }
+        auto &group = rec.pid < split_pid ? small_app : big_app;
+        auto tr_res = it->second.utlb->translate(rec.va, rec.nbytes);
+        group.probes += tr_res.pageAddrs.size();
+        group.misses += tr_res.niMisses;
+    }
+    for (const auto &[pid, p] : procs) {
+        auto &group = pid < split_pid ? small_app : big_app;
+        group.occupancy += cache.occupancyOf(pid);
+    }
+    return {small_app, big_app};
+}
+
+std::string
+missRate(const GroupStats &g)
+{
+    return bench::rate(g.probes
+                           ? static_cast<double>(g.misses)
+                               / static_cast<double>(g.probes)
+                           : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto water = trace::generateTrace("water");
+    auto fft = trace::generateTrace("fft");
+    auto combined = merge(water, fft, /*pid offset*/ 16);
+
+    // Solo baselines.
+    auto [water_solo, unused1] = replay(water, true, 16);
+    auto [unused2, fft_solo] = replay(fft, true, 0);
+    (void)unused1;
+    (void)unused2;
+
+    utlb::sim::TextTable t(
+        "Shared UTLB-Cache under multiprogramming: water (hot, small)"
+        " co-scheduled with fft (streaming, large); 4K entries");
+    t.setHeader({"Config", "water missRate", "fft missRate",
+                 "water occupancy", "fft occupancy"});
+    t.addRow({"solo (offset)", missRate(water_solo),
+              missRate(fft_solo), "-", "-"});
+
+    auto [w_off, f_off] = replay(combined, true, 16);
+    t.addRow({"co-run, offset", missRate(w_off), missRate(f_off),
+              utlb::sim::TextTable::num(std::uint64_t{w_off.occupancy}),
+              utlb::sim::TextTable::num(
+                  std::uint64_t{f_off.occupancy})});
+
+    auto [w_no, f_no] = replay(combined, false, 16);
+    t.addRow({"co-run, no offset", missRate(w_no), missRate(f_no),
+              utlb::sim::TextTable::num(std::uint64_t{w_no.occupancy}),
+              utlb::sim::TextTable::num(
+                  std::uint64_t{f_no.occupancy})});
+    t.print(std::cout);
+
+    std::cout << "\nShape checks: with offsetting, co-running the "
+                 "streaming fft next to water costs water a modest "
+                 "miss-rate increase\nand it keeps a proportionate "
+                 "share of the cache; without it, the ten processes' "
+                 "overlapping page numbers\ncollide, water's hit "
+                 "rate collapses, and most of the cache sits unused "
+                 "— the paper's multiprogramming\nargument for the "
+                 "process-dependent index hash (§3.2, §6.3).\n";
+    return 0;
+}

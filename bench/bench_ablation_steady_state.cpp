@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: cold-start vs steady-state translation behaviour.
+ *
+ * The paper's tables include the cold start (compulsory misses and
+ * first-use pinning dominate several rows). This ablation separates
+ * the phases: full-trace statistics vs statistics collected only
+ * after the first half of the trace has warmed the pin set and the
+ * NIC cache. The steady state is where UTLB's "keep translations
+ * alive" property pays: for reuse-heavy apps the steady-state UTLB
+ * cost collapses to the 1.3 us check+hit floor, while the interrupt
+ * baseline keeps paying for cache-eviction churn.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::simulateIntr;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+
+    utlb::sim::TextTable t(
+        "Cold-start vs steady-state (2K-entry cache): check-miss / "
+        "probe-miss / avg cost (us)");
+    t.setHeader({"workload", "phase", "UTLB check", "UTLB miss",
+                 "UTLB cost", "Intr miss", "Intr cost"});
+
+    for (const auto &name : workloadNames()) {
+        const auto &tr = traces.get(name);
+        for (bool steady : {false, true}) {
+            SimConfig cfg;
+            cfg.cache = {2048, 1, true};
+            cfg.warmupLookups = steady ? tr.size() / 2 : 0;
+            auto u = simulateUtlb(tr, cfg);
+            auto i = simulateIntr(tr, cfg);
+            t.addRow({steady ? "" : name,
+                      steady ? "steady" : "full",
+                      rate(u.checkMissPerLookup()),
+                      rate(u.probeMissRate()),
+                      rate(u.avgLookupCostUs()),
+                      rate(i.probeMissRate()),
+                      rate(i.avgLookupCostUs())});
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading the table: reuse-heavy apps (barnes, "
+                 "water, volrend) drop to near-zero steady-state "
+                 "check misses — the\nUTLB common path with no "
+                 "syscalls or interrupts — while streaming apps "
+                 "(lu, radix) keep their compulsory\ncomponent in "
+                 "both phases, as their steady state still touches "
+                 "new pages.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * Each bench binary regenerates one of the paper's tables or
+ * figures: it builds the synthetic workload traces, replays them
+ * through the real UTLB / interrupt-baseline stacks, and prints the
+ * same rows the paper reports. Paper values are printed alongside
+ * where useful so the shape comparison is immediate.
+ */
+
+#ifndef UTLB_BENCH_COMMON_HPP
+#define UTLB_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/table.hpp"
+#include "tlbsim/simulator.hpp"
+#include "trace/workloads.hpp"
+
+namespace bench {
+
+/** Cache sizes swept by Tables 4, 5, 8 and Figure 7. */
+inline const std::vector<std::size_t> kCacheSizes{1024, 2048, 4096,
+                                                  8192, 16384};
+
+/** Short label for a cache size ("1K".."16K"). */
+inline std::string
+sizeLabel(std::size_t entries)
+{
+    return std::to_string(entries / 1024) + "K";
+}
+
+/** Two-decimal format used by the paper's per-lookup tables. */
+inline std::string
+rate(double v)
+{
+    return utlb::sim::TextTable::num(v, 2);
+}
+
+/** Cache of generated traces (one per workload) for one binary. */
+class TraceSet
+{
+  public:
+    const utlb::trace::Trace &
+    get(const std::string &name)
+    {
+        auto it = traces.find(name);
+        if (it == traces.end()) {
+            it = traces
+                     .emplace(name, utlb::trace::generateTrace(name))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, utlb::trace::Trace> traces;
+};
+
+/** Names of all workloads, paper order. */
+inline std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : utlb::trace::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace bench
+
+#endif // UTLB_BENCH_COMMON_HPP

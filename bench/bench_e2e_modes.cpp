@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end ablation: UTLB vs interrupt-based translation in the
+ * full VMMC stack (not trace-driven — real transfers over the
+ * simulated wire).
+ *
+ * A sender streams pages to a receiver through a deliberately small
+ * NIC translation cache, with a working set larger than the cache,
+ * so translations keep getting evicted. Under UTLB, eviction costs
+ * a ~2 us DMA refill from the host-resident table; under the
+ * interrupt baseline it costs a 10 us interrupt plus kernel
+ * pin/unpin work on both sides of the transfer. The aggregate
+ * stream time quantifies the paper's headline claim on a running
+ * system.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "sim/table.hpp"
+#include "vmmc/system.hpp"
+
+namespace {
+
+using namespace utlb;
+using mem::addrOf;
+using mem::kPageSize;
+using sim::TextTable;
+using sim::Tick;
+using sim::ticksToUs;
+
+/** Stream `pages` one-page sends cycling over `working_set` pages. */
+double
+runStream(vmmc::XlateMode mode, std::size_t cache_entries,
+          std::size_t working_set, std::size_t sends)
+{
+    vmmc::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.cache = {cache_entries, 1, true};
+    cfg.node.mode = mode;
+    cfg.node.memoryFrames = 32768;
+    vmmc::Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(10), working_set * kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+
+    std::vector<std::uint8_t> page(kPageSize, 0x7e);
+    for (std::size_t i = 0; i < working_set; ++i)
+        a.space(1).writeBytes(addrOf(1000 + i), page);
+
+    // Sum per-send deposit latencies; cluster.run() also drains the
+    // (idle) retransmission timers, which must not count as work.
+    Tick busy = 0;
+    for (std::size_t i = 0; i < sends; ++i) {
+        std::size_t p = i % working_set;
+        Tick t0 = cluster.clock().now();
+        a.send(1, addrOf(1000 + p), kPageSize, slot,
+               static_cast<std::uint64_t>(p) * kPageSize);
+        cluster.run();
+        busy += b.lastDepositTime() - t0;
+    }
+    return ticksToUs(busy) / static_cast<double>(sends);
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t kSends = 600;
+
+    TextTable t(
+        "End-to-end VMMC: average per-send time (us), UTLB vs "
+        "interrupt-based translation (one-page sends)");
+    t.setHeader({"cache entries", "working set", "UTLB", "Intr",
+                 "Intr/UTLB"});
+
+    struct Case {
+        std::size_t entries;
+        std::size_t workingSet;
+    };
+    const std::vector<Case> cases{
+        {256, 64},    // fits: both warm after the first lap
+        {256, 512},   // 2x over: constant eviction traffic
+        {1024, 2048}, // 2x over at a larger size
+    };
+
+    for (const auto &c : cases) {
+        double u = runStream(vmmc::XlateMode::Utlb, c.entries,
+                             c.workingSet, kSends);
+        double i = runStream(vmmc::XlateMode::Interrupt, c.entries,
+                             c.workingSet, kSends);
+        t.addRow({TextTable::num(std::uint64_t{c.entries}),
+                  TextTable::num(std::uint64_t{c.workingSet}),
+                  TextTable::num(u, 1), TextTable::num(i, 1),
+                  TextTable::num(i / u, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape checks: when the working set fits the "
+                 "cache the two mechanisms converge (both all-hit); "
+                 "once translations\nkeep getting evicted, the "
+                 "interrupt approach pays 10 us interrupts plus "
+                 "kernel pin/unpin per miss on both the\nsend and "
+                 "deposit sides, while UTLB refills from host memory "
+                 "at ~2 us and never unpins (§6.2's comparison,\n"
+                 "observed end to end).\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 7: breakdown of Shared UTLB-Cache misses into compulsory,
+ * capacity, and conflict components (Hill's three-C model) for 1K,
+ * 4K, 8K, and 16K cache entries per application — infinite host
+ * memory, direct-mapped with offsetting, no prefetch.
+ *
+ * Rendered as a text bar chart: each row is one (app, size) point;
+ * the bar length is the overall miss rate in percent, partitioned
+ * into O (compulsory), A (capacity), and X (conflict).
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    auto names = workloadNames();
+    const std::vector<std::size_t> sizes{1024, 4096, 8192, 16384};
+
+    std::cout << "Figure 7: translation cache miss breakdown "
+                 "(percent of probes; direct-mapped + offsetting, "
+                 "infinite memory, no prefetch)\n"
+                 "bar: O = compulsory, A = capacity, X = conflict; "
+                 "one column per percentage point\n\n";
+
+    utlb::sim::TextTable t;
+    t.setHeader({"App", "Cache", "Miss%", "Compulsory%", "Capacity%",
+                 "Conflict%", "Bar"});
+
+    for (const auto &n : names) {
+        bool first = true;
+        for (std::size_t entries : sizes) {
+            SimConfig cfg;
+            cfg.cache = {entries, 1, true};
+            auto res = simulateUtlb(traces.get(n), cfg);
+
+            double denom = static_cast<double>(res.probes);
+            double comp = 100.0 * res.compulsoryMisses / denom;
+            double cap = 100.0 * res.capacityMisses / denom;
+            double conf = 100.0 * res.conflictMisses / denom;
+
+            std::string bar;
+            bar.append(static_cast<std::size_t>(comp + 0.5), 'O');
+            bar.append(static_cast<std::size_t>(cap + 0.5), 'A');
+            bar.append(static_cast<std::size_t>(conf + 0.5), 'X');
+
+            t.addRow({first ? n : "", sizeLabel(entries),
+                      rate(100.0 * res.probeMissRate()),
+                      rate(comp), rate(cap), rate(conf), bar});
+            first = false;
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape checks: conflict and capacity misses "
+                 "shrink as the cache grows; compulsory misses "
+                 "dominate at large sizes\n(the motivation for "
+                 "prefetching, §6.4).\n";
+    return 0;
+}

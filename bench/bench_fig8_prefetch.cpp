@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 8: the effect of prefetching translation entries in the
+ * Shared UTLB-Cache — RADIX with infinite host memory and a
+ * direct-mapped cache. Left series: overall cache miss rate vs
+ * entries fetched per miss; right series: average cache lookup cost
+ * vs entries fetched per miss, for 1K-16K entry caches.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::sim::TextTable;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    const auto &trace = traces.get("radix");
+    const std::vector<std::size_t> prefetch{1, 4, 8, 12, 16,
+                                            20, 24, 28, 32};
+
+    TextTable miss_t(
+        "Figure 8 (left): RADIX cache miss rate vs prefetch size "
+        "(direct-mapped, infinite memory)");
+    TextTable cost_t(
+        "Figure 8 (right): RADIX average cache lookup cost (us per "
+        "probe) vs prefetch size");
+    std::vector<std::string> header{"Entries/miss"};
+    for (std::size_t e : kCacheSizes)
+        header.push_back(sizeLabel(e) + " entries");
+    miss_t.setHeader(header);
+    cost_t.setHeader(header);
+
+    for (std::size_t pf : prefetch) {
+        std::vector<std::string> miss_row{
+            TextTable::num(std::uint64_t{pf})};
+        std::vector<std::string> cost_row = miss_row;
+        for (std::size_t entries : kCacheSizes) {
+            SimConfig cfg;
+            cfg.cache = {entries, 1, true};
+            cfg.prefetchEntries = pf;
+            auto res = simulateUtlb(trace, cfg);
+            miss_row.push_back(rate(res.probeMissRate()));
+            cost_row.push_back(rate(res.avgProbeCostUs()));
+        }
+        miss_t.addRow(miss_row);
+        cost_t.addRow(cost_row);
+    }
+    miss_t.print(std::cout);
+    std::cout << '\n';
+    cost_t.print(std::cout);
+
+    // §6.4's caveat: "in order for prefetching to work well,
+    // translations for contiguous application pages must be
+    // available during a miss." On a first touch the forward
+    // neighbours are not pinned yet, so prefetch cannot help
+    // compulsory misses — unless sequential pre-pinning (§6.5)
+    // installs their translations ahead of the NIC's demand. This
+    // second sweep couples the two mechanisms.
+    TextTable pp_miss(
+        "Figure 8 (coupled with 16-page pre-pinning): RADIX miss "
+        "rate when contiguous translations are made available");
+    TextTable pp_cost(
+        "Figure 8 (coupled with 16-page pre-pinning): RADIX average "
+        "cache lookup cost (us per probe)");
+    pp_miss.setHeader(header);
+    pp_cost.setHeader(header);
+    for (std::size_t pf : prefetch) {
+        std::vector<std::string> miss_row{
+            TextTable::num(std::uint64_t{pf})};
+        std::vector<std::string> cost_row = miss_row;
+        for (std::size_t entries : kCacheSizes) {
+            SimConfig cfg;
+            cfg.cache = {entries, 1, true};
+            cfg.prefetchEntries = pf;
+            cfg.prepinPages = 16;
+            auto res = simulateUtlb(trace, cfg);
+            miss_row.push_back(rate(res.probeMissRate()));
+            cost_row.push_back(rate(res.avgProbeCostUs()));
+        }
+        pp_miss.addRow(miss_row);
+        pp_cost.addRow(cost_row);
+    }
+    std::cout << '\n';
+    pp_miss.print(std::cout);
+    std::cout << '\n';
+    pp_cost.print(std::cout);
+
+    std::cout << "\nPaper shape checks: miss rate falls as "
+                 "prefetching becomes more aggressive. The large "
+                 "drop — and the falling average lookup cost —\n"
+                 "appear when contiguous translations are available "
+                 "at miss time (§6.4's stated requirement), which "
+                 "sequential pre-pinning provides;\nwithout it, "
+                 "prefetch can only accelerate revisit misses, since "
+                 "a first-touch page's forward neighbours are not "
+                 "pinned yet.\n";
+    return 0;
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Google-benchmark micro suite for the hot data structures: the
+ * Shared UTLB-Cache probe/insert paths, the user-level lookup tree,
+ * the pin bit vector, replacement policy operations, the host page
+ * table, and the event queue. These measure *wall-clock* cost of
+ * the simulator itself (not simulated time) — they gate performance
+ * regressions in the library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/bitvector.hpp"
+#include "core/lookup_tree.hpp"
+#include "core/driver.hpp"
+#include "core/pin_manager.hpp"
+#include "core/registration_cache.hpp"
+#include "core/replacement.hpp"
+#include "core/shared_cache.hpp"
+#include "core/translation_table.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/timing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace utlb;
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    nic::NicTimings t;
+    core::SharedUtlbCache cache(
+        {static_cast<std::size_t>(state.range(0)),
+         static_cast<unsigned>(state.range(1)), true}, t);
+    for (mem::Vpn v = 0; v < 512; ++v)
+        cache.insert(1, v, v);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto probe = cache.lookup(1, v % 512);
+        benchmark::DoNotOptimize(probe);
+        ++v;
+    }
+}
+BENCHMARK(BM_CacheLookupHit)
+    ->Args({1024, 1})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    nic::NicTimings t;
+    core::SharedUtlbCache cache({1024, 2, true}, t);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto evicted = cache.insert(1, v, v + 1);
+        ++v;
+        benchmark::DoNotOptimize(evicted);
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_LookupTreeGet(benchmark::State &state)
+{
+    core::LookupTree tree;
+    for (mem::Vpn v = 0; v < 10000; v += 2)
+        tree.set(v, static_cast<core::UtlbIndex>(v));
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto idx = tree.get(v % 10000);
+        benchmark::DoNotOptimize(idx);
+        ++v;
+    }
+}
+BENCHMARK(BM_LookupTreeGet);
+
+void
+BM_BitVectorCheckRange(benchmark::State &state)
+{
+    core::PinBitVector bits;
+    for (mem::Vpn v = 0; v < 4096; ++v)
+        bits.set(v);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto res = bits.checkRange(v % 4000, state.range(0));
+        benchmark::DoNotOptimize(res);
+        ++v;
+    }
+}
+BENCHMARK(BM_BitVectorCheckRange)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_PolicyAccessVictim(benchmark::State &state)
+{
+    auto policy = core::ReplacementPolicy::create(
+        static_cast<core::PolicyKind>(state.range(0)));
+    for (mem::Vpn v = 0; v < 1024; ++v)
+        policy->onInsert(v);
+    sim::Rng rng(7);
+    for (auto _ : state) {
+        policy->onAccess(rng.below(1024));
+        auto victim = policy->victim({});
+        benchmark::DoNotOptimize(victim);
+    }
+}
+BENCHMARK(BM_PolicyAccessVictim)
+    ->Arg(static_cast<int>(core::PolicyKind::Lru))
+    ->Arg(static_cast<int>(core::PolicyKind::Lfu))
+    ->Arg(static_cast<int>(core::PolicyKind::Random));
+
+void
+BM_HostPageTableSetGet(benchmark::State &state)
+{
+    mem::PhysMemory phys_mem(512);
+    core::HostPageTable table(phys_mem, 1);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        table.set(v % 65536, v);
+        auto e = table.get(v % 65536);
+        benchmark::DoNotOptimize(e);
+        ++v;
+    }
+}
+BENCHMARK(BM_HostPageTableSetGet);
+
+void
+BM_HostPageTableReadRun(benchmark::State &state)
+{
+    mem::PhysMemory phys_mem(512);
+    core::HostPageTable table(phys_mem, 1);
+    for (mem::Vpn v = 0; v < 4096; ++v)
+        table.set(v, v);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto run = table.readRun(v % 4000, state.range(0));
+        benchmark::DoNotOptimize(run);
+        ++v;
+    }
+}
+BENCHMARK(BM_HostPageTableReadRun)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 256; ++i)
+            eq.schedule(static_cast<sim::Tick>((i * 37) % 101),
+                        [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_PinManagerEnsureHit(benchmark::State &state)
+{
+    mem::PhysMemory phys_mem(4096);
+    mem::PinFacility pins;
+    nic::Sram sram;
+    nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache({1024, 1, true}, timings);
+    core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+    mem::AddressSpace space(1, phys_mem);
+    driver.registerProcess(space);
+    core::PinManager mgr(driver, 1, {});
+    mgr.ensurePinned(0, 512);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto r = mgr.ensurePinned(v % 500, 4);
+        benchmark::DoNotOptimize(r);
+        ++v;
+    }
+}
+BENCHMARK(BM_PinManagerEnsureHit);
+
+void
+BM_RcacheAcquireHit(benchmark::State &state)
+{
+    mem::PhysMemory phys_mem(4096);
+    mem::PinFacility pins;
+    nic::Sram sram;
+    nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache({1024, 1, true}, timings);
+    core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+    mem::AddressSpace space(1, phys_mem);
+    driver.registerProcess(space);
+    core::RegistrationCache rc(driver, 1, {});
+    rc.acquire(mem::addrOf(0), 512 * mem::kPageSize);
+    mem::Vpn v = 0;
+    for (auto _ : state) {
+        auto r = rc.acquire(mem::addrOf(v % 500), 4 * mem::kPageSize);
+        benchmark::DoNotOptimize(r);
+        ++v;
+    }
+}
+BENCHMARK(BM_RcacheAcquireHit);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 3: application problem size, communication memory footprint
+ * (4 KB pages), and translation-lookup count — measured from our
+ * synthetic traces next to the paper's published targets.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using utlb::sim::TextTable;
+
+    TextTable t("Table 3: problem size, communication footprint, "
+                "lookup count (paper target vs generated trace)");
+    t.setHeader({"Application", "Problem Size", "Footprint(paper)",
+                 "Footprint(ours)", "Lookups(paper)", "Lookups(ours)",
+                 "Pages/lookup", "Procs"});
+
+    for (const auto &w : utlb::trace::allWorkloads()) {
+        auto trace = utlb::trace::generateTrace(w.name);
+        auto shape = utlb::trace::measure(trace);
+        t.addRow({w.name, w.problemSize,
+                  TextTable::num(std::uint64_t{w.footprintPages}),
+                  TextTable::num(std::uint64_t{shape.distinctPages}),
+                  TextTable::num(std::uint64_t{w.lookups}),
+                  TextTable::num(std::uint64_t{shape.lookups}),
+                  TextTable::num(shape.pagesPerLookup, 2),
+                  TextTable::num(std::uint64_t{shape.processes})});
+    }
+    t.print(std::cout);
+    return 0;
+}

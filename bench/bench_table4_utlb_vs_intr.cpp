@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 4: average translation overhead breakdown, UTLB vs the
+ * interrupt-based approach — check misses, NI misses, and unpins per
+ * lookup, for 1K-16K cache entries, infinite host memory,
+ * direct-mapped cache with index offsetting, no prefetch.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::SimResult;
+    using utlb::tlbsim::simulateIntr;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    auto names = workloadNames();
+
+    utlb::sim::TextTable t(
+        "Table 4: per-lookup overhead, UTLB vs Intr (infinite host "
+        "memory, direct-mapped + offsetting, no prefetch)");
+    std::vector<std::string> header{"Cache", "Metric"};
+    for (const auto &n : names) {
+        header.push_back(n + ".UTLB");
+        header.push_back(n + ".Intr");
+    }
+    t.setHeader(header);
+
+    for (std::size_t entries : kCacheSizes) {
+        SimConfig cfg;
+        cfg.cache = {entries, 1, true};
+
+        std::vector<SimResult> u, i;
+        for (const auto &n : names) {
+            u.push_back(simulateUtlb(traces.get(n), cfg));
+            i.push_back(simulateIntr(traces.get(n), cfg));
+        }
+
+        std::vector<std::string> check{sizeLabel(entries),
+                                       "check misses"};
+        std::vector<std::string> miss{"", "NI misses"};
+        std::vector<std::string> unpin{"", "unpins"};
+        for (std::size_t k = 0; k < names.size(); ++k) {
+            check.push_back(rate(u[k].checkMissPerLookup()));
+            check.push_back("-");
+            miss.push_back(rate(u[k].niMissPerLookup()));
+            miss.push_back(rate(i[k].niMissPerLookup()));
+            unpin.push_back(rate(u[k].unpinsPerLookup()));
+            unpin.push_back(rate(i[k].unpinsPerLookup()));
+        }
+        t.addRow(check);
+        t.addRow(miss);
+        t.addRow(unpin);
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape checks: UTLB unpins are 0.00 "
+                 "everywhere (infinite memory keeps translations "
+                 "alive);\nIntr unpins track its miss rate and fall "
+                 "with cache size; NI miss rates fall with size.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 5: the Table 4 comparison repeated with a 4 MB (1024-page)
+ * per-process physical memory restriction. UTLB must now evict and
+ * unpin via its user-level LRU policy; the interrupt-based approach
+ * sheds cached pages when the kernel pin limit is hit.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::SimResult;
+    using utlb::tlbsim::simulateIntr;
+    using utlb::tlbsim::simulateUtlb;
+
+    constexpr std::size_t kFourMbPages = 1024;
+
+    TraceSet traces;
+    auto names = workloadNames();
+
+    utlb::sim::TextTable t(
+        "Table 5: per-lookup overhead, UTLB vs Intr (4 MB per-process "
+        "memory, direct-mapped + offsetting, no prefetch)");
+    std::vector<std::string> header{"Cache", "Metric"};
+    for (const auto &n : names) {
+        header.push_back(n + ".UTLB");
+        header.push_back(n + ".Intr");
+    }
+    t.setHeader(header);
+
+    for (std::size_t entries : kCacheSizes) {
+        SimConfig cfg;
+        cfg.cache = {entries, 1, true};
+        cfg.memLimitPages = kFourMbPages;
+
+        std::vector<SimResult> u, i;
+        for (const auto &n : names) {
+            u.push_back(simulateUtlb(traces.get(n), cfg));
+            i.push_back(simulateIntr(traces.get(n), cfg));
+        }
+
+        std::vector<std::string> check{sizeLabel(entries),
+                                       "check misses"};
+        std::vector<std::string> miss{"", "NI misses"};
+        std::vector<std::string> unpin{"", "unpins"};
+        for (std::size_t k = 0; k < names.size(); ++k) {
+            check.push_back(rate(u[k].checkMissPerLookup()));
+            check.push_back("-");
+            miss.push_back(rate(u[k].niMissPerLookup()));
+            miss.push_back(rate(i[k].niMissPerLookup()));
+            unpin.push_back(rate(u[k].unpinsPerLookup()));
+            unpin.push_back(rate(i[k].unpinsPerLookup()));
+        }
+        t.addRow(check);
+        t.addRow(miss);
+        t.addRow(unpin);
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape checks: apps whose footprint exceeds "
+                 "1024 pages/process (fft, lu, radix, raytrace) now "
+                 "unpin under UTLB too,\nand their check-miss rates "
+                 "rise; small-footprint apps (barnes, volrend, water) "
+                 "are unaffected.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 8: overall miss rates in the Shared UTLB-Cache vs cache
+ * size and associativity (direct / 2-way / 4-way, all with index
+ * offsetting) plus a direct-mapped cache without offsetting
+ * ("direct-nohash"), for all seven workloads with infinite host
+ * memory and no prefetch.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    using utlb::tlbsim::SimConfig;
+    using utlb::tlbsim::simulateUtlb;
+
+    TraceSet traces;
+    auto names = workloadNames();
+
+    struct Variant {
+        const char *label;
+        unsigned assoc;
+        bool offset;
+    };
+    const std::vector<Variant> variants{
+        {"direct", 1, true},
+        {"2-way", 2, true},
+        {"4-way", 4, true},
+        {"direct-nohash", 1, false},
+    };
+
+    utlb::sim::TextTable t(
+        "Table 8: overall Shared UTLB-Cache miss rates (misses per "
+        "probe; infinite memory, no prefetch)");
+    std::vector<std::string> header{"Cache", "Assoc"};
+    for (const auto &n : names)
+        header.push_back(n);
+    t.setHeader(header);
+
+    for (std::size_t entries : kCacheSizes) {
+        bool first = true;
+        for (const auto &v : variants) {
+            SimConfig cfg;
+            cfg.cache = {entries, v.assoc, v.offset};
+            std::vector<std::string> row{
+                first ? sizeLabel(entries) : "", v.label};
+            first = false;
+            for (const auto &n : names) {
+                auto res = simulateUtlb(traces.get(n), cfg);
+                row.push_back(rate(res.probeMissRate()));
+            }
+            t.addRow(row);
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape checks: direct-mapped with offsetting "
+                 "is competitive with (often better than) 2-way and "
+                 "4-way;\ndropping the offset (direct-nohash) "
+                 "inflates miss rates through cross-process "
+                 "conflicts.\n";
+    return 0;
+}

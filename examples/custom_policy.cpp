@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Application-specific replacement policies (§3.4).
+ *
+ * "Because the application process often has knowledge about its
+ * virtual memory access, it can use a custom replacement policy to
+ * minimize the number of page pinning and unpinning operations."
+ *
+ * This example runs two access patterns against a tight pin budget
+ * under every predefined policy and shows why the right choice is
+ * workload-dependent:
+ *
+ *  - a cyclic scan over a region slightly larger than the budget —
+ *    the classic case where LRU is pessimal (it always evicts the
+ *    page about to be reused) and MRU is optimal;
+ *  - a hot/cold mix (90% of touches on a small hot set) — where
+ *    LRU/LFU shine and MRU is a disaster.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/driver.hpp"
+#include "core/pin_manager.hpp"
+#include "core/shared_cache.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/random.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace utlb;
+using core::PolicyKind;
+
+struct Outcome {
+    std::uint64_t pins = 0;
+    std::uint64_t unpins = 0;
+    double hostUs = 0.0;
+};
+
+/** Run one access pattern under one policy, fresh stack each time. */
+template <typename Pattern>
+Outcome
+run(PolicyKind policy, std::size_t budget_pages, Pattern &&pattern)
+{
+    mem::PhysMemory phys_mem(8192);
+    mem::PinFacility pins;
+    nic::Sram sram;
+    nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache({1024, 1, true}, timings, &sram);
+    core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+    mem::AddressSpace space(1, phys_mem);
+    driver.registerProcess(space);
+
+    core::PinManagerConfig cfg;
+    cfg.memLimitPages = budget_pages;
+    cfg.policy = policy;
+    core::PinManager mgr(driver, 1, cfg);
+
+    Outcome out;
+    pattern([&](mem::Vpn vpn) {
+        auto res = mgr.ensurePinned(vpn, 1);
+        out.pins += res.pagesPinned;
+        out.unpins += res.pagesUnpinned;
+        out.hostUs += sim::ticksToUs(res.cost);
+    });
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<PolicyKind> policies{
+        PolicyKind::Lru, PolicyKind::Mru, PolicyKind::Lfu,
+        PolicyKind::Mfu, PolicyKind::Fifo, PolicyKind::Random};
+
+    constexpr std::size_t kBudget = 64;
+
+    // Pattern 1: cyclic scan over budget+8 pages, 40 rounds.
+    auto cyclic = [](auto &&touch) {
+        for (int round = 0; round < 40; ++round)
+            for (mem::Vpn v = 0; v < kBudget + 8; ++v)
+                touch(v);
+    };
+
+    // Pattern 2: 90% hot (32 pages), 10% cold (1024 pages), 20k ops.
+    auto hotcold = [](auto &&touch) {
+        sim::Rng rng(99);
+        for (int i = 0; i < 20000; ++i) {
+            if (rng.chance(0.9))
+                touch(rng.below(32));
+            else
+                touch(100 + rng.below(1024));
+        }
+    };
+
+    sim::TextTable t(
+        "Pin/unpin traffic under a 64-page budget, by policy "
+        "(pins + unpins; lower is better)");
+    t.setHeader({"Policy", "cyclic pins", "cyclic unpins",
+                 "cyclic host ms", "hot/cold pins", "hot/cold unpins",
+                 "hot/cold host ms"});
+
+    for (auto p : policies) {
+        auto c = run(p, kBudget, cyclic);
+        auto h = run(p, kBudget, hotcold);
+        t.addRow({core::toString(p),
+                  sim::TextTable::num(c.pins),
+                  sim::TextTable::num(c.unpins),
+                  sim::TextTable::num(c.hostUs / 1000.0, 1),
+                  sim::TextTable::num(h.pins),
+                  sim::TextTable::num(h.unpins),
+                  sim::TextTable::num(h.hostUs / 1000.0, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout <<
+        "\nReading the table: on the cyclic scan MRU keeps most of "
+        "the loop resident (few pins), while LRU evicts\nexactly the "
+        "page that comes back next and re-pins every round. On the "
+        "hot/cold mix the recency/frequency\npolicies protect the "
+        "hot set and MRU keeps evicting it. That asymmetry is why "
+        "UTLB exposes the policy\nchoice to the application (§3.4) "
+        "instead of hard-wiring LRU.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end UTLB/VMMC program.
+ *
+ * Builds a two-node simulated cluster, exports a receive buffer on
+ * node 1, imports it on node 0, and remote-stores a message — the
+ * exact flow of the paper's Figure 5. Prints what the UTLB did on
+ * both sides (pins, NIC cache misses) and the simulated timeline.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "vmmc/system.hpp"
+
+int
+main()
+{
+    using namespace utlb;
+    using mem::addrOf;
+
+    // A two-node cluster: each node has host DRAM, a NIC with 1 MB
+    // SRAM, a Shared UTLB-Cache, and a UTLB device driver.
+    vmmc::ClusterConfig cfg;
+    cfg.nodes = 2;
+    vmmc::Cluster cluster(cfg);
+    vmmc::VmmcNode &sender = cluster.node(0);
+    vmmc::VmmcNode &receiver = cluster.node(1);
+
+    // One process on each node. Each gets its own address space,
+    // two-level UTLB page table, and command post.
+    sender.createProcess(/*pid=*/1);
+    receiver.createProcess(/*pid=*/2);
+
+    // Receiver: export a 16 KB receive buffer. Export pins the
+    // pages and installs their translations (the receive side of
+    // VMMC requires exported buffers to be pinned, §2).
+    mem::VirtAddr recv_va = addrOf(100);
+    auto export_id = receiver.exportBuffer(2, recv_va, 16 * 1024);
+    if (!export_id) {
+        std::cerr << "export failed\n";
+        return 1;
+    }
+
+    // Sender: import the remote buffer, write a message into an
+    // ordinary (unpinned!) heap buffer, and remote-store it. The
+    // UTLB pins the buffer on demand — no system call will be
+    // needed for later sends from the same buffer.
+    auto slot = sender.importBuffer(1, /*remote node=*/1, *export_id);
+    mem::VirtAddr send_va = addrOf(500);
+    const char msg[] = "hello through the UTLB direct data path";
+    sender.space(1).writeBytes(
+        send_va, std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t *>(msg),
+                     sizeof(msg)));
+
+    sim::Tick start = cluster.clock().now();
+    if (!sender.send(1, send_va, sizeof(msg), slot, /*offset=*/0)) {
+        std::cerr << "send failed\n";
+        return 1;
+    }
+    cluster.run();  // drain the event queue: DMA, wire, deposit
+
+    // Read the message out of the receiver's virtual memory.
+    std::vector<std::uint8_t> got(sizeof(msg));
+    receiver.space(2).readBytes(recv_va, got);
+    std::cout << "received: \""
+              << reinterpret_cast<const char *>(got.data()) << "\"\n";
+
+    double us = sim::ticksToUs(receiver.lastDepositTime() - start);
+    std::cout << "end-to-end time: " << us << " us (simulated)\n\n";
+
+    std::cout << "sender-side UTLB activity:\n"
+              << "  pages pinned on demand: "
+              << sender.utlb(1).pinManager().pinnedPages() << "\n"
+              << "  NIC cache hits/misses:  "
+              << sender.nicCache().hits() << "/"
+              << sender.nicCache().misses() << "\n";
+
+    // Send again from the same buffer: everything is warm now.
+    sim::Tick t2 = cluster.clock().now();
+    sender.send(1, send_va, sizeof(msg), slot, 4096);
+    cluster.run();
+    std::cout << "second send (warm path): "
+              << sim::ticksToUs(receiver.lastDepositTime() - t2)
+              << " us — no pinning, no system calls, no interrupts\n";
+    return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Build, test, and regenerate every table/figure in one shot.
+# Usage: scripts/run_all.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for b in "$BUILD"/bench/*; do
+    echo "===== $b ====="
+    "$b"
+    echo
+done

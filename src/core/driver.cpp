@@ -1,0 +1,206 @@
+#include "core/driver.hpp"
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::PinStatus;
+using mem::ProcId;
+using mem::Vpn;
+using sim::fatal;
+using sim::panic;
+
+UtlbDriver::UtlbDriver(mem::PhysMemory &host_mem,
+                       mem::PinFacility &pin_facility,
+                       nic::Sram &board_sram, SharedUtlbCache &cache,
+                       const HostCosts &costs)
+    : hostMem(&host_mem), pins(&pin_facility), sram(&board_sram),
+      nicCache(&cache), hostCosts(&costs)
+{
+    // "The device driver allocates and pins a 'garbage' page" (§4.2).
+    auto frame = hostMem->allocFrame(kKernelPid);
+    if (!frame)
+        fatal("no physical memory for the driver garbage page");
+    garbagePfn = *frame;
+}
+
+UtlbDriver::~UtlbDriver()
+{
+    hostMem->freeFrame(garbagePfn);
+}
+
+void
+UtlbDriver::registerProcess(mem::AddressSpace &space)
+{
+    ProcId pid = space.pid();
+    if (tables.count(pid))
+        panic("process %u registered with the driver twice", pid);
+    pins->registerSpace(space);
+    spaces.emplace(pid, &space);
+    tables.emplace(pid,
+                   std::make_unique<HostPageTable>(*hostMem, pid, sram));
+}
+
+void
+UtlbDriver::unregisterProcess(ProcId pid)
+{
+    nicCache->invalidateProcess(pid);
+    tables.erase(pid);
+    nicTables.erase(pid);
+    spaces.erase(pid);
+    pins->unregisterProcess(pid);
+}
+
+bool
+UtlbDriver::isRegistered(ProcId pid) const
+{
+    return tables.count(pid) > 0;
+}
+
+HostPageTable &
+UtlbDriver::pageTable(ProcId pid)
+{
+    auto it = tables.find(pid);
+    if (it == tables.end())
+        panic("pageTable of unregistered process %u", pid);
+    return *it->second;
+}
+
+IoctlResult
+UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
+{
+    ++numIoctls;
+    IoctlResult res;
+    if (!isRegistered(pid)) {
+        res.status = PinStatus::UnknownProcess;
+        return res;
+    }
+    if (npages == 0)
+        return res;
+
+    PinStatus st = PinStatus::Ok;
+    auto frames = pins->pinRange(pid, start, npages, &st);
+    if (!frames) {
+        res.status = st;
+        // A rejected ioctl still costs the syscall entry; charge the
+        // one-page pin floor as a conservative model.
+        res.cost = hostCosts->pinCost(1);
+        return res;
+    }
+
+    HostPageTable &table = pageTable(pid);
+    for (std::size_t i = 0; i < npages; ++i) {
+        if (!table.set(start + i, (*frames)[i])) {
+            // Roll back on table-leaf OOM.
+            for (std::size_t j = 0; j <= i; ++j) {
+                table.clear(start + j);
+            }
+            for (std::size_t j = 0; j < npages; ++j)
+                pins->unpinPage(pid, start + j);
+            res.status = PinStatus::OutOfMemory;
+            res.cost = hostCosts->pinCost(1);
+            return res;
+        }
+    }
+
+    numPagesPinned += npages;
+    res.pagesDone = npages;
+    res.cost = hostCosts->pinCost(npages);
+    return res;
+}
+
+IoctlResult
+UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
+                                    std::size_t npages)
+{
+    ++numIoctls;
+    IoctlResult res;
+    if (!isRegistered(pid)) {
+        res.status = PinStatus::UnknownProcess;
+        return res;
+    }
+
+    HostPageTable &table = pageTable(pid);
+    for (std::size_t i = 0; i < npages; ++i) {
+        Vpn vpn = start + i;
+        if (pins->unpinPage(pid, vpn) != PinStatus::Ok)
+            continue;
+        if (!pins->isPinned(pid, vpn)) {
+            // Last reference gone: the translation must not survive
+            // anywhere the NIC could read it.
+            table.clear(vpn);
+            nicCache->invalidate(pid, vpn);
+        }
+        ++res.pagesDone;
+    }
+    numPagesUnpinned += res.pagesDone;
+    res.cost = hostCosts->unpinCost(res.pagesDone ? res.pagesDone : 1);
+    return res;
+}
+
+NicTranslationTable &
+UtlbDriver::createNicTable(ProcId pid, std::size_t entries)
+{
+    if (!isRegistered(pid))
+        panic("createNicTable for unregistered process %u", pid);
+    auto [it, inserted] = nicTables.emplace(
+        pid, std::make_unique<NicTranslationTable>(*sram, pid, entries,
+                                                   garbagePfn));
+    if (!inserted)
+        panic("NIC table for process %u created twice", pid);
+    return *it->second;
+}
+
+NicTranslationTable &
+UtlbDriver::nicTable(ProcId pid)
+{
+    auto it = nicTables.find(pid);
+    if (it == nicTables.end())
+        panic("nicTable of process %u does not exist", pid);
+    return *it->second;
+}
+
+IoctlResult
+UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
+{
+    ++numIoctls;
+    IoctlResult res;
+    if (!isRegistered(pid)) {
+        res.status = PinStatus::UnknownProcess;
+        return res;
+    }
+
+    PinStatus st = PinStatus::Ok;
+    auto frame = pins->pinPage(pid, vpn, &st);
+    if (!frame) {
+        res.status = st;
+        res.cost = hostCosts->pinCost(1);
+        return res;
+    }
+    nicTable(pid).install(index, *frame);
+    ++numPagesPinned;
+    res.pagesDone = 1;
+    res.cost = hostCosts->pinCost(1);
+    return res;
+}
+
+IoctlResult
+UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
+{
+    ++numIoctls;
+    IoctlResult res;
+    if (!isRegistered(pid)) {
+        res.status = PinStatus::UnknownProcess;
+        return res;
+    }
+    res.status = pins->unpinPage(pid, vpn);
+    if (res.status == PinStatus::Ok) {
+        nicTable(pid).invalidate(index);
+        ++numPagesUnpinned;
+        res.pagesDone = 1;
+    }
+    res.cost = hostCosts->unpinCost(1);
+    return res;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The UTLB device driver (§4.2).
+ *
+ * "The UTLB mechanism does not rely on OS modifications nor on
+ * esoteric OS features. Only a device driver that accesses the OS
+ * page-pinning and unpinning facility is required." This class is
+ * that driver: it owns the pinned garbage page, allocates per-process
+ * translation tables, and exposes the ioctl() the user-level library
+ * calls to (a) lock pages and (b) fill translation entries.
+ *
+ * Costs: an ioctl pin/unpin charges the measured Table 1 batch curve
+ * (syscall overhead included, since the paper measured through the
+ * ioctl interface).
+ */
+
+#ifndef UTLB_CORE_DRIVER_HPP
+#define UTLB_CORE_DRIVER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/cost_model.hpp"
+#include "core/shared_cache.hpp"
+#include "core/translation_table.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+
+namespace utlb::core {
+
+/** Result of a driver ioctl. */
+struct IoctlResult {
+    mem::PinStatus status = mem::PinStatus::Ok;
+    sim::Tick cost = 0;          //!< modeled host time spent
+    std::size_t pagesDone = 0;   //!< pages actually pinned/unpinned
+};
+
+/**
+ * The VMMC/UTLB device driver.
+ *
+ * One driver instance per host; it manages every process using the
+ * board. The driver keeps the host-resident Hierarchical-UTLB page
+ * tables coherent with the pinning facility and the NIC shared
+ * cache: an unpin always invalidates both the host table entry and
+ * any cached NIC copy before the page becomes evictable.
+ */
+class UtlbDriver
+{
+  public:
+    UtlbDriver(mem::PhysMemory &host_mem, mem::PinFacility &pin_facility,
+               nic::Sram &board_sram, SharedUtlbCache &cache,
+               const HostCosts &costs);
+
+    ~UtlbDriver();
+
+    UtlbDriver(const UtlbDriver &) = delete;
+    UtlbDriver &operator=(const UtlbDriver &) = delete;
+
+    /** The always-pinned garbage frame (§4.2). */
+    mem::Pfn garbageFrame() const { return garbagePfn; }
+
+    /**
+     * Register a process: creates its host-resident page table and
+     * registers its address space with the pinning facility.
+     */
+    void registerProcess(mem::AddressSpace &space);
+
+    /** Tear down a process: unpins all pages, drops cache entries. */
+    void unregisterProcess(mem::ProcId pid);
+
+    /** True if @p pid is registered. */
+    bool isRegistered(mem::ProcId pid) const;
+
+    /** The process' Hierarchical-UTLB page table. */
+    HostPageTable &pageTable(mem::ProcId pid);
+
+    /**
+     * ioctl: pin [start, start+npages) and install the translations
+     * into the process' host page table (all-or-nothing).
+     *
+     * On LimitExceeded/OutOfMemory nothing is pinned and the caller
+     * (the user-level library) is expected to evict and retry.
+     */
+    IoctlResult ioctlPinAndInstall(mem::ProcId pid, mem::Vpn start,
+                                   std::size_t npages);
+
+    /**
+     * ioctl: unpin @p npages pages starting at @p start,
+     * invalidating host-table entries and NIC cache copies.
+     * Pages in the range that are not pinned are skipped.
+     */
+    IoctlResult ioctlUnpinAndInvalidate(mem::ProcId pid, mem::Vpn start,
+                                        std::size_t npages);
+
+    /**
+     * Create the per-process NIC-resident translation table used by
+     * the §3.1 design. @p entries slots, garbage-initialized.
+     */
+    NicTranslationTable &createNicTable(mem::ProcId pid,
+                                        std::size_t entries);
+
+    /** The per-process NIC table (must have been created). */
+    NicTranslationTable &nicTable(mem::ProcId pid);
+
+    /**
+     * ioctl for the per-process design: pin one page and install its
+     * translation at @p index of the process' NIC table.
+     */
+    IoctlResult ioctlPinAtIndex(mem::ProcId pid, mem::Vpn vpn,
+                                UtlbIndex index);
+
+    /**
+     * ioctl for the per-process design: unpin the page behind
+     * @p index and reset the slot to the garbage frame.
+     */
+    IoctlResult ioctlUnpinIndex(mem::ProcId pid, mem::Vpn vpn,
+                                UtlbIndex index);
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t ioctlCalls() const { return numIoctls; }
+    std::uint64_t pagesPinned() const { return numPagesPinned; }
+    std::uint64_t pagesUnpinned() const { return numPagesUnpinned; }
+    /** @} */
+
+  private:
+    mem::PhysMemory *hostMem;
+    mem::PinFacility *pins;
+    nic::Sram *sram;
+    SharedUtlbCache *nicCache;
+    const HostCosts *hostCosts;
+
+    mem::Pfn garbagePfn;
+    std::unordered_map<mem::ProcId, std::unique_ptr<HostPageTable>>
+        tables;
+    std::unordered_map<mem::ProcId,
+                       std::unique_ptr<NicTranslationTable>> nicTables;
+    std::unordered_map<mem::ProcId, mem::AddressSpace *> spaces;
+
+    std::uint64_t numIoctls = 0;
+    std::uint64_t numPagesPinned = 0;
+    std::uint64_t numPagesUnpinned = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_DRIVER_HPP

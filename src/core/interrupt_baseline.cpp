@@ -1,0 +1,74 @@
+#include "core/interrupt_baseline.hpp"
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::PinStatus;
+using mem::ProcId;
+using mem::Vpn;
+
+void
+InterruptTlb::unpinEvicted(const EvictedEntry &ev, IntrLookup &out)
+{
+    // Eviction from the NIC cache unpins the page — the defining
+    // behaviour of this approach [Basu et al. 97].
+    pins->unpinPage(ev.pid, ev.vpn);
+    out.cost += costs->kernelUnpinCost();
+    ++out.unpins;
+    ++numUnpins;
+}
+
+IntrLookup
+InterruptTlb::translate(ProcId pid, Vpn vpn)
+{
+    IntrLookup out;
+    ++numLookups;
+
+    CacheProbe probe = nicCache->lookup(pid, vpn);
+    out.cost += probe.cost;
+    if (probe.hit) {
+        out.pfn = probe.pfn;
+        return out;
+    }
+
+    // Miss: interrupt the host; the handler pins the page and
+    // installs the translation.
+    out.miss = true;
+    ++numMisses;
+    ++numInterrupts;
+    out.cost += costs->interruptCost();
+
+    std::optional<mem::Pfn> frame;
+    while (true) {
+        PinStatus st = PinStatus::Ok;
+        frame = pins->pinPage(pid, vpn, &st);
+        if (frame)
+            break;
+        if (st == PinStatus::LimitExceeded
+            || st == PinStatus::OutOfMemory) {
+            // Pinning is tied to cache residency: shed this
+            // process' LRU cached page and retry.
+            auto shed = nicCache->evictLruOfProcess(pid);
+            if (!shed) {
+                out.failed = true;
+                out.cost += costs->kernelPinCost();
+                return out;
+            }
+            unpinEvicted(*shed, out);
+            continue;
+        }
+        out.failed = true;
+        return out;
+    }
+    out.cost += costs->kernelPinCost();
+
+    auto evicted = nicCache->insert(pid, vpn, *frame);
+    if (evicted)
+        unpinEvicted(*evicted, out);
+
+    out.pfn = *frame;
+    return out;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The interrupt-based address translation baseline (§2, §6.2).
+ *
+ * Models the UNet-MM-style approach the paper compares against: the
+ * NIC holds a translation cache; on a miss it interrupts the host
+ * CPU, which pins the page and installs the translation; "the
+ * interrupt-based approach always unpins a page that is evicted from
+ * the network interface translation cache". There is no user-level
+ * check and no host-resident translation table — pinning is tied to
+ * cache residency, which is precisely why it unpins so much more
+ * than UTLB (Tables 4 and 5).
+ *
+ * Costs (§6.2 equations): every lookup pays ni_check; a miss adds
+ * intr_cost + kernel_pin_cost; each eviction-driven unpin adds
+ * kernel_unpin_cost (kernel-mode work needs no protection-domain
+ * crossing, so the in-kernel pin/unpin constants are used, not the
+ * ioctl batch curve).
+ */
+
+#ifndef UTLB_CORE_INTERRUPT_BASELINE_HPP
+#define UTLB_CORE_INTERRUPT_BASELINE_HPP
+
+#include <cstdint>
+
+#include "core/cost_model.hpp"
+#include "core/shared_cache.hpp"
+#include "mem/pinning.hpp"
+#include "nic/timing.hpp"
+
+namespace utlb::core {
+
+/** Outcome of one interrupt-based translation. */
+struct IntrLookup {
+    mem::Pfn pfn = mem::kInvalidPfn;
+    sim::Tick cost = 0;
+    bool miss = false;
+    std::size_t unpins = 0;   //!< eviction-driven unpins this lookup
+    bool failed = false;      //!< pin impossible (hard OOM)
+};
+
+/**
+ * Interrupt-based translation mechanism shared by all processes on
+ * a node (one NIC cache, host pinning per process).
+ */
+class InterruptTlb
+{
+  public:
+    InterruptTlb(mem::PinFacility &pin_facility, SharedUtlbCache &cache,
+                 const HostCosts &host_costs,
+                 const nic::NicTimings &timings)
+        : pins(&pin_facility), nicCache(&cache), costs(&host_costs),
+          nicTimings(&timings)
+    {}
+
+    InterruptTlb(const InterruptTlb &) = delete;
+    InterruptTlb &operator=(const InterruptTlb &) = delete;
+
+    /** Translate one page for @p pid. */
+    IntrLookup translate(mem::ProcId pid, mem::Vpn vpn);
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t lookups() const { return numLookups; }
+    std::uint64_t misses() const { return numMisses; }
+    std::uint64_t interrupts() const { return numInterrupts; }
+    std::uint64_t unpins() const { return numUnpins; }
+    /** @} */
+
+  private:
+    /** Unpin the page behind an evicted cache entry. */
+    void unpinEvicted(const EvictedEntry &ev, IntrLookup &out);
+
+    mem::PinFacility *pins;
+    SharedUtlbCache *nicCache;
+    const HostCosts *costs;
+    const nic::NicTimings *nicTimings;
+
+    std::uint64_t numLookups = 0;
+    std::uint64_t numMisses = 0;
+    std::uint64_t numInterrupts = 0;
+    std::uint64_t numUnpins = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_INTERRUPT_BASELINE_HPP

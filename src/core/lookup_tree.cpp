@@ -1,0 +1,52 @@
+#include "core/lookup_tree.hpp"
+
+namespace utlb::core {
+
+void
+LookupTree::set(mem::Vpn vpn, UtlbIndex index)
+{
+    std::uint64_t dir = vpn / kLeafEntries;
+    std::size_t slot = static_cast<std::size_t>(vpn % kLeafEntries);
+    auto &leaf = leaves[dir];
+    if (!leaf)
+        leaf = std::make_unique<Leaf>(kLeafEntries, kInvalidIndex);
+    if ((*leaf)[slot] == kInvalidIndex)
+        ++numValid;
+    (*leaf)[slot] = index;
+}
+
+std::optional<UtlbIndex>
+LookupTree::get(mem::Vpn vpn) const
+{
+    std::uint64_t dir = vpn / kLeafEntries;
+    auto it = leaves.find(dir);
+    if (it == leaves.end())
+        return std::nullopt;
+    UtlbIndex idx = (*it->second)[vpn % kLeafEntries];
+    if (idx == kInvalidIndex)
+        return std::nullopt;
+    return idx;
+}
+
+bool
+LookupTree::invalidate(mem::Vpn vpn)
+{
+    std::uint64_t dir = vpn / kLeafEntries;
+    auto it = leaves.find(dir);
+    if (it == leaves.end())
+        return false;
+    UtlbIndex &slot = (*it->second)[vpn % kLeafEntries];
+    if (slot == kInvalidIndex)
+        return false;
+    slot = kInvalidIndex;
+    --numValid;
+    return true;
+}
+
+std::size_t
+LookupTree::footprintBytes() const
+{
+    return leaves.size() * kLeafEntries * sizeof(UtlbIndex);
+}
+
+} // namespace utlb::core

@@ -1,0 +1,163 @@
+#include "core/per_process_utlb.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::PinStatus;
+using mem::Vpn;
+using sim::panic;
+
+PerProcessUtlb::PerProcessUtlb(UtlbDriver &drv, mem::ProcId pid,
+                               const PerProcessConfig &config)
+    : driver(&drv), procId(pid), cfg(config),
+      repl(ReplacementPolicy::create(cfg.policy, cfg.seed))
+{
+    driver->createNicTable(pid, cfg.tableEntries);
+    freeIndices.reserve(cfg.tableEntries);
+    for (std::size_t i = cfg.tableEntries; i-- > 0;)
+        freeIndices.push_back(static_cast<UtlbIndex>(i));
+}
+
+bool
+PerProcessUtlb::evictOne(IndexLookup &res, Vpn keep_start,
+                         std::size_t keep_pages)
+{
+    auto victim = repl->victim([&](Vpn v) {
+        return v < keep_start || v >= keep_start + keep_pages;
+    });
+    if (!victim)
+        return false;
+    auto idx = tree.get(*victim);
+    if (!idx)
+        panic("policy victim %llu missing from lookup tree",
+              static_cast<unsigned long long>(*victim));
+
+    IoctlResult io = driver->ioctlUnpinIndex(procId, *victim, *idx);
+    res.hostCost += io.cost;
+    if (io.status != PinStatus::Ok)
+        return false;
+    tree.invalidate(*victim);
+    repl->onRemove(*victim);
+    vpnAtIndex.erase(*idx);
+    freeIndices.push_back(*idx);
+    res.pagesUnpinned += 1;
+    ++numEvictions;
+    return true;
+}
+
+IndexLookup
+PerProcessUtlb::lookup(mem::VirtAddr va, std::size_t nbytes)
+{
+    IndexLookup res;
+    ++numLookups;
+    std::size_t npages = mem::pagesSpanned(va, nbytes);
+    if (npages == 0)
+        return res;
+    if (npages > cfg.tableEntries) {
+        res.ok = false;
+        return res;
+    }
+
+    Vpn start = mem::pageOf(va);
+    res.indices.reserve(npages);
+
+    // "Only two memory references are required to obtain the UTLB
+    // index" — charge the tree walk per page, plus the aggregate
+    // user-level library overhead once per lookup.
+    res.hostCost += sim::usToTicks(0.5);
+
+    bool counted_miss = false;
+    for (std::size_t i = 0; i < npages; ++i) {
+        Vpn vpn = start + i;
+        res.hostCost += LookupTree::lookupCost();
+        if (auto idx = tree.get(vpn)) {
+            repl->onAccess(vpn);
+            res.indices.push_back(*idx);
+            continue;
+        }
+
+        // Capacity: find a free slot, evicting if necessary. Never
+        // evict a page belonging to this very request.
+        res.checkMiss = true;
+        if (!counted_miss) {
+            ++numCheckMisses;
+            counted_miss = true;
+        }
+        while (freeIndices.empty()) {
+            if (!evictOne(res, start, npages)) {
+                res.ok = false;
+                return res;
+            }
+        }
+        UtlbIndex idx = freeIndices.back();
+
+        IoctlResult io = driver->ioctlPinAtIndex(procId, vpn, idx);
+        res.hostCost += io.cost;
+        if (io.status == PinStatus::LimitExceeded
+            || io.status == PinStatus::OutOfMemory) {
+            if (!evictOne(res, start, npages)) {
+                res.ok = false;
+                return res;
+            }
+            --i;  // retry this page
+            continue;
+        }
+        if (io.status != PinStatus::Ok) {
+            res.ok = false;
+            return res;
+        }
+        freeIndices.pop_back();
+        tree.set(vpn, idx);
+        repl->onInsert(vpn);
+        vpnAtIndex.emplace(idx, vpn);
+        res.pagesPinned += 1;
+        res.indices.push_back(idx);
+    }
+    return res;
+}
+
+mem::Pfn
+PerProcessUtlb::nicRead(UtlbIndex index) const
+{
+    return driver->nicTable(procId).entry(index);
+}
+
+std::size_t
+PerProcessUtlb::liveEntries() const
+{
+    return vpnAtIndex.size();
+}
+
+std::optional<UtlbIndex>
+PerProcessUtlb::indexOf(Vpn vpn) const
+{
+    return tree.get(vpn);
+}
+
+std::size_t
+PerProcessUtlb::bufferIndexRuns(mem::VirtAddr va,
+                                std::size_t nbytes) const
+{
+    std::size_t npages = mem::pagesSpanned(va, nbytes);
+    Vpn start = mem::pageOf(va);
+    std::vector<UtlbIndex> indices;
+    indices.reserve(npages);
+    for (std::size_t i = 0; i < npages; ++i) {
+        if (auto idx = tree.get(start + i))
+            indices.push_back(*idx);
+    }
+    if (indices.empty())
+        return 0;
+    std::sort(indices.begin(), indices.end());
+    std::size_t runs = 1;
+    for (std::size_t i = 1; i < indices.size(); ++i) {
+        if (indices[i] != indices[i - 1] + 1)
+            ++runs;
+    }
+    return runs;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Per-process UTLB design (§3.1, Figure 1).
+ *
+ * Each process owns a fixed-size translation table in NIC SRAM and a
+ * user-level two-level lookup tree mapping virtual pages to table
+ * indices. To communicate, the process looks up (or creates) the
+ * indices for its buffer's pages and submits those indices to the
+ * NIC, which translates with a single protected table read.
+ *
+ * Capacity is limited by NIC SRAM ("this results in a fairly small
+ * translation table for each process", §3.2 — the motivation for the
+ * Shared UTLB-Cache). When the table fills, the library evicts
+ * entries with its replacement policy, unpinning the victims.
+ */
+
+#ifndef UTLB_CORE_PER_PROCESS_UTLB_HPP
+#define UTLB_CORE_PER_PROCESS_UTLB_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/lookup_tree.hpp"
+#include "core/replacement.hpp"
+#include "sim/types.hpp"
+
+namespace utlb::core {
+
+/** Configuration of a per-process UTLB instance. */
+struct PerProcessConfig {
+    std::size_t tableEntries = 8192;  //!< NIC SRAM table slots
+    PolicyKind policy = PolicyKind::Lru;
+    std::uint64_t seed = 12345;
+};
+
+/** Result of resolving a buffer to translation-table indices. */
+struct IndexLookup {
+    bool ok = true;
+    std::vector<UtlbIndex> indices;  //!< one per page of the buffer
+    sim::Tick hostCost = 0;
+    bool checkMiss = false;
+    std::size_t pagesPinned = 0;
+    std::size_t pagesUnpinned = 0;
+};
+
+/**
+ * A process' handle on its private NIC-resident translation table.
+ */
+class PerProcessUtlb
+{
+  public:
+    /** Creates the NIC table through the driver (claims SRAM). */
+    PerProcessUtlb(UtlbDriver &drv, mem::ProcId pid,
+                   const PerProcessConfig &cfg);
+
+    mem::ProcId pid() const { return procId; }
+    std::size_t tableEntries() const { return cfg.tableEntries; }
+
+    /**
+     * Resolve [va, va+nbytes) to table indices, pinning and
+     * installing translations for unpinned pages (evicting old
+     * entries if the table is full).
+     */
+    IndexLookup lookup(mem::VirtAddr va, std::size_t nbytes);
+
+    /**
+     * NIC-side read of a user-submitted index: always yields a
+     * frame (the garbage frame for bogus indices) in constant time.
+     */
+    mem::Pfn nicRead(UtlbIndex index) const;
+
+    /** Number of live (pinned) entries in the table. */
+    std::size_t liveEntries() const;
+
+    /** User-level index of @p vpn, if installed. */
+    std::optional<UtlbIndex> indexOf(mem::Vpn vpn) const;
+
+    /**
+     * Fragmentation metric (§3.3): the number of discontiguous
+     * index runs occupied by the translations of the buffer
+     * [va, va+nbytes). A freshly-filled table maps a contiguous
+     * buffer to one run; "after complex data accesses, a user
+     * buffer's translations may be scattered in the translation
+     * table" — the problem Hierarchical-UTLB eliminates.
+     * Pages without an installed index are ignored.
+     * @return the run count (0 if no page is installed).
+     */
+    std::size_t bufferIndexRuns(mem::VirtAddr va,
+                                std::size_t nbytes) const;
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t totalLookups() const { return numLookups; }
+    std::uint64_t totalCheckMisses() const { return numCheckMisses; }
+    std::uint64_t totalEvictions() const { return numEvictions; }
+    /** @} */
+
+  private:
+    /**
+     * Free a slot by evicting the policy's victim, never choosing a
+     * page inside [keep_start, keep_start + keep_pages).
+     */
+    bool evictOne(IndexLookup &res, mem::Vpn keep_start,
+                  std::size_t keep_pages);
+
+    UtlbDriver *driver;
+    mem::ProcId procId;
+    PerProcessConfig cfg;
+    LookupTree tree;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::vector<UtlbIndex> freeIndices;
+    std::unordered_map<UtlbIndex, mem::Vpn> vpnAtIndex;
+
+    std::uint64_t numLookups = 0;
+    std::uint64_t numCheckMisses = 0;
+    std::uint64_t numEvictions = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_PER_PROCESS_UTLB_HPP

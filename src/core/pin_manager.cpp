@@ -1,0 +1,176 @@
+#include "core/pin_manager.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::PinStatus;
+using mem::Vpn;
+using sim::warn;
+
+PinManager::PinManager(UtlbDriver &drv, mem::ProcId pid,
+                       const PinManagerConfig &config)
+    : driver(&drv), procId(pid), cfg(config),
+      repl(ReplacementPolicy::create(cfg.policy, cfg.seed))
+{
+}
+
+void
+PinManager::lockRange(Vpn start, std::size_t npages)
+{
+    for (std::size_t i = 0; i < npages; ++i)
+        ++locks[start + i];
+}
+
+void
+PinManager::unlockRange(Vpn start, std::size_t npages)
+{
+    for (std::size_t i = 0; i < npages; ++i) {
+        auto it = locks.find(start + i);
+        if (it == locks.end())
+            continue;
+        if (--it->second == 0)
+            locks.erase(it);
+    }
+}
+
+bool
+PinManager::isLocked(Vpn vpn) const
+{
+    return locks.count(vpn) > 0;
+}
+
+bool
+PinManager::evictOne(EnsureResult &res)
+{
+    auto victim = repl->victim(
+        [this](Vpn vpn) { return !isLocked(vpn); });
+    if (!victim)
+        return false;
+
+    // Unpin one page at a time (§6.5).
+    IoctlResult io = driver->ioctlUnpinAndInvalidate(procId, *victim, 1);
+    res.cost += io.cost;
+    res.unpinCost += io.cost;
+    ++res.unpinIoctls;
+    if (io.status != PinStatus::Ok || io.pagesDone != 1) {
+        warn("eviction unpin of page %llu failed (%s)",
+             static_cast<unsigned long long>(*victim),
+             toString(io.status));
+        return false;
+    }
+    bits.clear(*victim);
+    repl->onRemove(*victim);
+    res.pagesUnpinned += 1;
+    ++numEvictions;
+    return true;
+}
+
+bool
+PinManager::pinRun(Vpn start, std::size_t npages, EnsureResult &res)
+{
+    // Make room under the library's own budget first.
+    if (cfg.memLimitPages != 0) {
+        while (bits.count() + npages > cfg.memLimitPages) {
+            if (!evictOne(res))
+                return false;
+        }
+    }
+
+    while (true) {
+        IoctlResult io = driver->ioctlPinAndInstall(procId, start,
+                                                    npages);
+        res.cost += io.cost;
+        res.pinCost += io.cost;
+        ++res.pinIoctls;
+        if (io.status == PinStatus::Ok) {
+            for (std::size_t i = 0; i < npages; ++i) {
+                bits.set(start + i);
+                repl->onInsert(start + i);
+            }
+            res.pagesPinned += npages;
+            return true;
+        }
+        if (io.status == PinStatus::LimitExceeded
+            || io.status == PinStatus::OutOfMemory) {
+            // The kernel's limit may be tighter than the library's
+            // notion; evict and retry.
+            if (!evictOne(res))
+                return false;
+            continue;
+        }
+        return false;
+    }
+}
+
+EnsureResult
+PinManager::ensurePinned(Vpn start, std::size_t npages)
+{
+    EnsureResult res;
+    ++numChecks;
+
+    CheckResult check = bits.checkRange(start, npages);
+    res.cost += check.cost;
+
+    if (check.allPinned) {
+        for (std::size_t i = 0; i < npages; ++i)
+            repl->onAccess(start + i);
+        return res;
+    }
+
+    res.checkMiss = true;
+    ++numCheckMisses;
+
+    // The request's own pages must never be chosen as eviction
+    // victims while we pin the rest of it (§3.1's rule generalized:
+    // a page that this very lookup needs is "outstanding").
+    lockRange(start, npages);
+
+    // Pin each maximal run of unpinned pages within the request.
+    std::size_t i = static_cast<std::size_t>(check.firstUnpinned - start);
+    while (i < npages) {
+        if (bits.test(start + i)) {
+            repl->onAccess(start + i);
+            ++i;
+            continue;
+        }
+        // Extent of this unpinned run, optionally extended past the
+        // request by sequential pre-pinning (§6.5): "the user library
+        // tries to pin a number of contiguous pages starting with
+        // that page".
+        std::size_t horizon = std::max(npages - i, cfg.prepinPages);
+        std::size_t run = 1;
+        while (run < horizon && !bits.test(start + i + run))
+            ++run;
+
+        if (!pinRun(start + i, run, res)) {
+            res.ok = false;
+            unlockRange(start, npages);
+            return res;
+        }
+        i += run;
+    }
+    unlockRange(start, npages);
+
+    // Touch all requested pages for recency/frequency accounting.
+    for (std::size_t j = 0; j < npages; ++j)
+        repl->onAccess(start + j);
+    return res;
+}
+
+bool
+PinManager::releasePage(Vpn vpn)
+{
+    if (!bits.test(vpn))
+        return false;
+    IoctlResult io = driver->ioctlUnpinAndInvalidate(procId, vpn, 1);
+    if (io.status != PinStatus::Ok || io.pagesDone != 1)
+        return false;
+    bits.clear(vpn);
+    repl->onRemove(vpn);
+    return true;
+}
+
+} // namespace utlb::core

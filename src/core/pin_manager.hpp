@@ -1,0 +1,143 @@
+/**
+ * @file
+ * User-level pinned-page manager (§3.1, §3.3, §3.4, §6.5).
+ *
+ * The part of the UTLB user-level library that keeps pages pinned:
+ * it tracks pin status in a bit vector, invokes the driver ioctl to
+ * pin on demand (optionally pre-pinning a run of contiguous pages,
+ * §6.5), and — when the process' physical memory allowance runs out —
+ * selects victims with an application-chosen replacement policy and
+ * unpins them one page at a time (§6.5: "unpinning is still done one
+ * page at a time").
+ *
+ * Correctness: pages named in outstanding send requests can be
+ * locked with lockRange(); the victim search skips locked pages
+ * (§3.1: the library "must only select virtual pages that will not
+ * be involved in any outstanding send requests").
+ */
+
+#ifndef UTLB_CORE_PIN_MANAGER_HPP
+#define UTLB_CORE_PIN_MANAGER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/bitvector.hpp"
+#include "core/driver.hpp"
+#include "core/replacement.hpp"
+#include "mem/page.hpp"
+#include "sim/types.hpp"
+
+namespace utlb::core {
+
+/** Configuration of a process' pin manager. */
+struct PinManagerConfig {
+    /**
+     * The library's own pin budget in pages (0 = unlimited). This is
+     * the "amount of physical memory that a user process can pin"
+     * (§3.4); the experiments use 4 MB (1024 pages) and 16 MB (4096
+     * pages) budgets.
+     */
+    std::size_t memLimitPages = 0;
+
+    /** Sequential pre-pin batch size (§6.5); 1 disables pre-pinning. */
+    std::size_t prepinPages = 1;
+
+    /** Replacement policy for victim selection (§3.4). */
+    PolicyKind policy = PolicyKind::Lru;
+
+    /** Seed for the RANDOM policy. */
+    std::uint64_t seed = 12345;
+};
+
+/** Accounting of one ensurePinned() call. */
+struct EnsureResult {
+    bool ok = true;               //!< all pages pinned on return
+    sim::Tick cost = 0;           //!< modeled host time (check+ioctls)
+    sim::Tick pinCost = 0;        //!< portion spent in pin ioctls
+    sim::Tick unpinCost = 0;      //!< portion spent in unpin ioctls
+    bool checkMiss = false;       //!< some page was found unpinned
+    std::size_t pagesPinned = 0;  //!< newly pinned (incl. pre-pins)
+    std::size_t pagesUnpinned = 0;//!< evicted to make room
+    std::size_t pinIoctls = 0;
+    std::size_t unpinIoctls = 0;
+};
+
+/**
+ * Per-process user-level pin manager.
+ *
+ * Invariant (checked by the test suite): the bit vector, the
+ * replacement policy's tracked set, and the kernel pin facility's
+ * per-process pin set agree at every quiescent point.
+ */
+class PinManager
+{
+  public:
+    PinManager(UtlbDriver &drv, mem::ProcId pid,
+               const PinManagerConfig &cfg);
+
+    mem::ProcId pid() const { return procId; }
+    const PinManagerConfig &config() const { return cfg; }
+
+    /**
+     * Guarantee [start, start+npages) is pinned with translations
+     * installed, evicting other pages if the budget requires it.
+     */
+    EnsureResult ensurePinned(mem::Vpn start, std::size_t npages);
+
+    /** Mark pages as involved in an outstanding send. */
+    void lockRange(mem::Vpn start, std::size_t npages);
+
+    /** Release an outstanding-send lock. */
+    void unlockRange(mem::Vpn start, std::size_t npages);
+
+    /** True if @p vpn is locked against eviction. */
+    bool isLocked(mem::Vpn vpn) const;
+
+    /** True if the library believes @p vpn is pinned. */
+    bool isPinned(mem::Vpn vpn) const { return bits.test(vpn); }
+
+    /** Number of pages this manager currently holds pinned. */
+    std::size_t pinnedPages() const { return bits.count(); }
+
+    /** Voluntarily unpin a page (e.g. on buffer free). */
+    bool releasePage(mem::Vpn vpn);
+
+    /** The pin-status bit vector (read-only). */
+    const PinBitVector &bitVector() const { return bits; }
+
+    /** The replacement policy (read-only access for tests). */
+    const ReplacementPolicy &policy() const { return *repl; }
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t totalChecks() const { return numChecks; }
+    std::uint64_t totalCheckMisses() const { return numCheckMisses; }
+    std::uint64_t totalEvictions() const { return numEvictions; }
+    /** @} */
+
+  private:
+    /**
+     * Evict one victim page to free budget.
+     * @return false if nothing is evictable.
+     */
+    bool evictOne(EnsureResult &res);
+
+    /** Pin a contiguous run of currently-unpinned pages. */
+    bool pinRun(mem::Vpn start, std::size_t npages, EnsureResult &res);
+
+    UtlbDriver *driver;
+    mem::ProcId procId;
+    PinManagerConfig cfg;
+    PinBitVector bits;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::unordered_map<mem::Vpn, std::uint32_t> locks;
+
+    std::uint64_t numChecks = 0;
+    std::uint64_t numCheckMisses = 0;
+    std::uint64_t numEvictions = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_PIN_MANAGER_HPP

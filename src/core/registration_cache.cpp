@@ -1,0 +1,181 @@
+#include "core/registration_cache.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::kPageSize;
+using mem::PinStatus;
+using mem::Vpn;
+
+RegistrationCache::RegistrationCache(UtlbDriver &drv, mem::ProcId pid,
+                                     const RegCacheConfig &cfg)
+    : driver(&drv), procId(pid), config(cfg)
+{
+}
+
+RegistrationCache::~RegistrationCache()
+{
+    RegResult scratch;
+    while (!map.empty())
+        dropRegion(map.begin(), scratch);
+}
+
+bool
+RegistrationCache::covered(mem::VirtAddr va, std::size_t len) const
+{
+    if (len == 0)
+        return true;
+    Vpn start = mem::pageOf(va);
+    Vpn end = mem::pageOf(va + len - 1) + 1;
+    // Regions are coalesced (no two abut), so full coverage implies
+    // a single region contains the range.
+    auto it = map.upper_bound(start);
+    if (it == map.begin())
+        return false;
+    --it;
+    return it->second.start <= start && it->second.end >= end;
+}
+
+void
+RegistrationCache::dropRegion(std::map<Vpn, Region>::iterator it,
+                              RegResult &res)
+{
+    Region &r = it->second;
+    std::size_t npages = static_cast<std::size_t>(r.end - r.start);
+    IoctlResult io =
+        driver->ioctlUnpinAndInvalidate(procId, r.start, npages);
+    res.cost += io.cost;
+    res.pagesUnpinned += io.pagesDone;
+    totalBytes -= npages * kPageSize;
+    lru.erase(r.lruPos);
+    map.erase(it);
+}
+
+bool
+RegistrationCache::evictOne(Vpn keep_lo, Vpn keep_hi, RegResult &res)
+{
+    for (auto lru_it = lru.begin(); lru_it != lru.end(); ++lru_it) {
+        auto map_it = map.find(*lru_it);
+        if (map_it == map.end())
+            sim::panic("rcache LRU entry missing from interval map");
+        const Region &r = map_it->second;
+        bool overlaps = r.start < keep_hi && keep_lo < r.end;
+        if (overlaps)
+            continue;
+        dropRegion(map_it, res);
+        ++numEvictions;
+        ++res.regionsEvicted;
+        return true;
+    }
+    return false;
+}
+
+RegResult
+RegistrationCache::acquire(mem::VirtAddr va, std::size_t len)
+{
+    RegResult res;
+    if (len == 0)
+        return res;
+    Vpn start = mem::pageOf(va);
+    Vpn end = mem::pageOf(va + len - 1) + 1;
+
+    res.cost += lookupCost();
+    if (covered(va, len)) {
+        res.hit = true;
+        ++numHits;
+        auto it = std::prev(map.upper_bound(start));
+        lru.splice(lru.end(), lru, it->second.lruPos);
+        return res;
+    }
+    ++numMisses;
+
+    // Collect regions overlapping or abutting [start, end): they
+    // will be merged into the new registration.
+    Vpn merged_lo = start;
+    Vpn merged_hi = end;
+    std::vector<std::map<Vpn, Region>::iterator> absorb;
+    auto it = map.upper_bound(start);
+    if (it != map.begin() && std::prev(it)->second.end >= start)
+        --it;
+    while (it != map.end() && it->second.start <= end) {
+        absorb.push_back(it);
+        merged_lo = std::min(merged_lo, it->second.start);
+        merged_hi = std::max(merged_hi, it->second.end);
+        ++it;
+    }
+
+    // Pages that need fresh pinning: the gaps of [start, end) not
+    // covered by absorbed regions.
+    std::size_t new_pages = 0;
+    {
+        Vpn cursor = start;
+        for (auto *vec_it = absorb.data();
+             vec_it != absorb.data() + absorb.size(); ++vec_it) {
+            const Region &r = (*vec_it)->second;
+            if (r.start > cursor)
+                new_pages += static_cast<std::size_t>(
+                    std::min(end, r.start) - cursor);
+            cursor = std::max(cursor, r.end);
+            if (cursor >= end)
+                break;
+        }
+        if (cursor < end)
+            new_pages += static_cast<std::size_t>(end - cursor);
+    }
+
+    // Budget: make room before pinning anything new.
+    if (config.maxBytes != 0) {
+        while (totalBytes + new_pages * kPageSize > config.maxBytes) {
+            if (!evictOne(merged_lo, merged_hi, res)) {
+                res.ok = false;
+                return res;
+            }
+        }
+    }
+
+    // Pin each gap with one batch ioctl.
+    Vpn cursor = start;
+    auto pin_gap = [&](Vpn lo, Vpn hi) -> bool {
+        if (lo >= hi)
+            return true;
+        IoctlResult io = driver->ioctlPinAndInstall(
+            procId, lo, static_cast<std::size_t>(hi - lo));
+        res.cost += io.cost;
+        if (io.status != PinStatus::Ok) {
+            res.ok = false;
+            return false;
+        }
+        res.pagesPinned += io.pagesDone;
+        return true;
+    };
+    for (auto &absorbed : absorb) {
+        const Region &r = absorbed->second;
+        if (!pin_gap(cursor, std::min(end, r.start)))
+            return res;
+        cursor = std::max(cursor, r.end);
+        if (cursor >= end)
+            break;
+    }
+    if (!pin_gap(cursor, end))
+        return res;
+
+    // Replace absorbed regions with the merged one.
+    numMerges += absorb.empty() ? 0 : absorb.size();
+    for (auto &absorbed : absorb) {
+        lru.erase(absorbed->second.lruPos);
+        map.erase(absorbed);
+    }
+    lru.push_back(merged_lo);
+    Region merged;
+    merged.start = merged_lo;
+    merged.end = merged_hi;
+    merged.lruPos = std::prev(lru.end());
+    map.emplace(merged_lo, merged);
+    totalBytes += new_pages * kPageSize;
+    return res;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,277 @@
+#include "core/replacement.hpp"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::Vpn;
+using sim::fatal;
+using sim::panic;
+
+PolicyKind
+policyFromName(const std::string &name)
+{
+    if (name == "lru")
+        return PolicyKind::Lru;
+    if (name == "mru")
+        return PolicyKind::Mru;
+    if (name == "lfu")
+        return PolicyKind::Lfu;
+    if (name == "mfu")
+        return PolicyKind::Mfu;
+    if (name == "fifo")
+        return PolicyKind::Fifo;
+    if (name == "random")
+        return PolicyKind::Random;
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:    return "LRU";
+      case PolicyKind::Mru:    return "MRU";
+      case PolicyKind::Lfu:    return "LFU";
+      case PolicyKind::Mfu:    return "MFU";
+      case PolicyKind::Fifo:   return "FIFO";
+      case PolicyKind::Random: return "RANDOM";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Recency-ordered policy core shared by LRU, MRU, and FIFO: a
+ * doubly-linked list from least- to most-recently used, with an
+ * index for O(1) access.
+ */
+class RecencyPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RecencyPolicy(PolicyKind k) : policyKind(k) {}
+
+    void
+    onInsert(Vpn vpn) override
+    {
+        if (index.count(vpn))
+            panic("policy onInsert of tracked page");
+        order.push_back(vpn);
+        index.emplace(vpn, std::prev(order.end()));
+    }
+
+    void
+    onAccess(Vpn vpn) override
+    {
+        if (policyKind == PolicyKind::Fifo)
+            return;  // FIFO ignores accesses
+        auto it = index.find(vpn);
+        if (it == index.end())
+            return;
+        order.splice(order.end(), order, it->second);
+    }
+
+    void
+    onRemove(Vpn vpn) override
+    {
+        auto it = index.find(vpn);
+        if (it == index.end())
+            return;
+        order.erase(it->second);
+        index.erase(it);
+    }
+
+    std::optional<Vpn>
+    victim(const Evictable &ok) const override
+    {
+        if (policyKind == PolicyKind::Mru) {
+            for (auto it = order.rbegin(); it != order.rend(); ++it) {
+                if (!ok || ok(*it))
+                    return *it;
+            }
+        } else {
+            for (Vpn vpn : order) {
+                if (!ok || ok(vpn))
+                    return vpn;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::size_t size() const override { return index.size(); }
+
+    bool contains(Vpn vpn) const override { return index.count(vpn) > 0; }
+
+    PolicyKind kind() const override { return policyKind; }
+
+  private:
+    PolicyKind policyKind;
+    std::list<Vpn> order;  //!< front = least recent
+    std::unordered_map<Vpn, std::list<Vpn>::iterator> index;
+};
+
+/** Frequency-ordered policy core shared by LFU and MFU. */
+class FrequencyPolicy : public ReplacementPolicy
+{
+  public:
+    explicit FrequencyPolicy(PolicyKind k) : policyKind(k) {}
+
+    void
+    onInsert(Vpn vpn) override
+    {
+        if (pages.count(vpn))
+            panic("policy onInsert of tracked page");
+        pages.emplace(vpn, Info{1, nextStamp++});
+    }
+
+    void
+    onAccess(Vpn vpn) override
+    {
+        auto it = pages.find(vpn);
+        if (it == pages.end())
+            return;
+        ++it->second.freq;
+        it->second.stamp = nextStamp++;
+    }
+
+    void onRemove(Vpn vpn) override { pages.erase(vpn); }
+
+    std::optional<Vpn>
+    victim(const Evictable &ok) const override
+    {
+        // Ties in frequency break toward the least recently used so
+        // LFU degrades to LRU on uniform access, which is the
+        // conventional definition.
+        bool found = false;
+        Vpn best = 0;
+        Info best_info{};
+        for (const auto &[vpn, info] : pages) {
+            if (ok && !ok(vpn))
+                continue;
+            bool better;
+            if (!found) {
+                better = true;
+            } else if (policyKind == PolicyKind::Lfu) {
+                better = info.freq < best_info.freq
+                    || (info.freq == best_info.freq
+                        && info.stamp < best_info.stamp);
+            } else {
+                better = info.freq > best_info.freq
+                    || (info.freq == best_info.freq
+                        && info.stamp < best_info.stamp);
+            }
+            if (better) {
+                found = true;
+                best = vpn;
+                best_info = info;
+            }
+        }
+        if (!found)
+            return std::nullopt;
+        return best;
+    }
+
+    std::size_t size() const override { return pages.size(); }
+
+    bool contains(Vpn vpn) const override { return pages.count(vpn) > 0; }
+
+    PolicyKind kind() const override { return policyKind; }
+
+  private:
+    struct Info {
+        std::uint64_t freq;
+        std::uint64_t stamp;
+    };
+
+    PolicyKind policyKind;
+    std::unordered_map<Vpn, Info> pages;
+    std::uint64_t nextStamp = 0;
+};
+
+/** Uniform random victim selection with a seeded generator. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng(seed) {}
+
+    void
+    onInsert(Vpn vpn) override
+    {
+        if (slot.count(vpn))
+            panic("policy onInsert of tracked page");
+        slot.emplace(vpn, pages.size());
+        pages.push_back(vpn);
+    }
+
+    void onAccess(Vpn) override {}
+
+    void
+    onRemove(Vpn vpn) override
+    {
+        auto it = slot.find(vpn);
+        if (it == slot.end())
+            return;
+        std::size_t i = it->second;
+        slot.erase(it);
+        Vpn last = pages.back();
+        pages.pop_back();
+        if (i < pages.size()) {
+            pages[i] = last;
+            slot[last] = i;
+        }
+    }
+
+    std::optional<Vpn>
+    victim(const Evictable &ok) const override
+    {
+        if (pages.empty())
+            return std::nullopt;
+        // Random probing; falls back to a linear scan from a random
+        // start so a mostly-locked set still terminates.
+        std::size_t start = rng.below(pages.size());
+        for (std::size_t i = 0; i < pages.size(); ++i) {
+            Vpn vpn = pages[(start + i) % pages.size()];
+            if (!ok || ok(vpn))
+                return vpn;
+        }
+        return std::nullopt;
+    }
+
+    std::size_t size() const override { return pages.size(); }
+
+    bool contains(Vpn vpn) const override { return slot.count(vpn) > 0; }
+
+    PolicyKind kind() const override { return PolicyKind::Random; }
+
+  private:
+    mutable sim::Rng rng;
+    std::vector<Vpn> pages;
+    std::unordered_map<Vpn, std::size_t> slot;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(PolicyKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+      case PolicyKind::Mru:
+      case PolicyKind::Fifo:
+        return std::make_unique<RecencyPolicy>(kind);
+      case PolicyKind::Lfu:
+      case PolicyKind::Mfu:
+        return std::make_unique<FrequencyPolicy>(kind);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+    }
+    panic("unreachable policy kind");
+}
+
+} // namespace utlb::core

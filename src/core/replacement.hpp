@@ -1,0 +1,93 @@
+/**
+ * @file
+ * User-level replacement policies for pinned pages (§3.4).
+ *
+ * "UTLB predefines five replacement policies for applications to
+ * choose: LRU, MRU, LFU, MFU, and RANDOM." We additionally provide
+ * FIFO as a baseline. Policies rank a process' pinned virtual pages
+ * and nominate eviction victims when the pin limit is reached.
+ *
+ * Correctness requirement from §3.1: "the user-level library must
+ * only select virtual pages that will not be involved in any
+ * outstanding send requests" — victims are therefore selected
+ * through an evictability predicate supplied by the caller.
+ */
+
+#ifndef UTLB_CORE_REPLACEMENT_HPP
+#define UTLB_CORE_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mem/page.hpp"
+#include "sim/random.hpp"
+
+namespace utlb::core {
+
+/** Which replacement policy to use. */
+enum class PolicyKind {
+    Lru,
+    Mru,
+    Lfu,
+    Mfu,
+    Fifo,
+    Random,
+};
+
+/** Parse a policy name ("lru", "mru", ...). Fatal on unknown names. */
+PolicyKind policyFromName(const std::string &name);
+
+/** Printable policy name. */
+const char *toString(PolicyKind kind);
+
+/** Predicate deciding whether a page may be evicted right now. */
+using Evictable = std::function<bool(mem::Vpn)>;
+
+/**
+ * Interface for pinned-page replacement policies.
+ *
+ * The policy tracks membership itself: every pinned page must be
+ * onInsert()ed exactly once and onRemove()d when unpinned. victim()
+ * never removes — the caller evicts, then calls onRemove().
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A page was pinned (must not already be tracked). */
+    virtual void onInsert(mem::Vpn vpn) = 0;
+
+    /** A tracked page was referenced. */
+    virtual void onAccess(mem::Vpn vpn) = 0;
+
+    /** A page was unpinned. No-op if untracked. */
+    virtual void onRemove(mem::Vpn vpn) = 0;
+
+    /**
+     * Nominate an eviction victim among tracked pages for which
+     * @p ok returns true (or among all pages if @p ok is empty).
+     * @return nullopt if no page is evictable.
+     */
+    virtual std::optional<mem::Vpn> victim(const Evictable &ok) const = 0;
+
+    /** Number of tracked pages. */
+    virtual std::size_t size() const = 0;
+
+    /** True if @p vpn is tracked. */
+    virtual bool contains(mem::Vpn vpn) const = 0;
+
+    /** Policy kind. */
+    virtual PolicyKind kind() const = 0;
+
+    /** Create a policy instance. @p seed only matters for Random. */
+    static std::unique_ptr<ReplacementPolicy>
+    create(PolicyKind kind, std::uint64_t seed = 12345);
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_REPLACEMENT_HPP

@@ -1,0 +1,228 @@
+#include "core/shared_cache.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::Pfn;
+using mem::ProcId;
+using mem::Vpn;
+using sim::fatal;
+using sim::Tick;
+
+namespace {
+
+/**
+ * Process-dependent index offset (§3.2): a multiplicative hash of
+ * the pid spreads different processes' identical page numbers over
+ * different sets. Knuth's multiplicative constant.
+ */
+std::uint64_t
+processOffset(ProcId pid)
+{
+    return static_cast<std::uint64_t>(pid) * 2654435761ull;
+}
+
+} // namespace
+
+SharedUtlbCache::SharedUtlbCache(const CacheConfig &cfg,
+                                 const nic::NicTimings &t,
+                                 nic::Sram *board_sram)
+    : config(cfg), timings(&t)
+{
+    if (config.entries == 0 || config.assoc == 0)
+        fatal("cache requires entries > 0 and assoc > 0");
+    if (config.entries % config.assoc != 0)
+        fatal("cache entries (%zu) not divisible by assoc (%u)",
+              config.entries, config.assoc);
+    numSets = config.entries / config.assoc;
+    lines.resize(config.entries);
+
+    if (board_sram) {
+        // 4 bytes per line, matching "32 KB (or 8 K entries)" (§4.2).
+        auto base = board_sram->alloc("utlb-cache", config.entries * 4);
+        if (!base)
+            fatal("NIC SRAM cannot hold a %zu-entry UTLB cache",
+                  config.entries);
+    }
+}
+
+std::size_t
+SharedUtlbCache::setIndex(ProcId pid, Vpn vpn) const
+{
+    std::uint64_t key = vpn;
+    if (config.indexOffsetting)
+        key += processOffset(pid);
+    return static_cast<std::size_t>(key % numSets);
+}
+
+SharedUtlbCache::Line *
+SharedUtlbCache::findLine(ProcId pid, Vpn vpn, unsigned *probes)
+{
+    std::size_t set = setIndex(pid, vpn);
+    Line *base = &lines[set * config.assoc];
+    for (unsigned w = 0; w < config.assoc; ++w) {
+        if (probes)
+            *probes = w + 1;
+        Line &line = base[w];
+        if (line.valid && line.pid == pid && line.vpn == vpn)
+            return &line;
+    }
+    if (probes)
+        *probes = config.assoc;
+    return nullptr;
+}
+
+const SharedUtlbCache::Line *
+SharedUtlbCache::findLine(ProcId pid, Vpn vpn) const
+{
+    return const_cast<SharedUtlbCache *>(this)->findLine(pid, vpn,
+                                                         nullptr);
+}
+
+CacheProbe
+SharedUtlbCache::lookup(ProcId pid, Vpn vpn)
+{
+    CacheProbe probe;
+    unsigned probes = 0;
+    Line *line = findLine(pid, vpn, &probes);
+    // The firmware probes ways sequentially (§6.3); the first probe
+    // is the published constant hit cost, each further way adds
+    // perWayProbeCost.
+    probe.cost = timings->cacheHitCost
+        + Tick{probes > 0 ? probes - 1 : 0} * timings->perWayProbeCost;
+    if (line) {
+        probe.hit = true;
+        probe.pfn = line->pfn;
+        line->lastUse = ++useClock;
+        ++numHits;
+    } else {
+        ++numMisses;
+    }
+    return probe;
+}
+
+std::optional<Pfn>
+SharedUtlbCache::peek(ProcId pid, Vpn vpn) const
+{
+    const Line *line = findLine(pid, vpn);
+    if (!line)
+        return std::nullopt;
+    return line->pfn;
+}
+
+std::optional<EvictedEntry>
+SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn)
+{
+    ++numInserts;
+    std::size_t set = setIndex(pid, vpn);
+    Line *base = &lines[set * config.assoc];
+
+    // Re-insert over an existing entry (refresh).
+    for (unsigned w = 0; w < config.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.pid == pid && line.vpn == vpn) {
+            line.pfn = pfn;
+            line.lastUse = ++useClock;
+            return std::nullopt;
+        }
+    }
+
+    // Fill an invalid way if one exists.
+    for (unsigned w = 0; w < config.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            line = Line{true, pid, vpn, pfn, ++useClock};
+            return std::nullopt;
+        }
+    }
+
+    // Evict the LRU way.
+    Line *victim = base;
+    for (unsigned w = 1; w < config.assoc; ++w) {
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
+    *victim = Line{true, pid, vpn, pfn, ++useClock};
+    ++numEvictions;
+    return out;
+}
+
+bool
+SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
+{
+    Line *line = findLine(pid, vpn, nullptr);
+    if (!line)
+        return false;
+    line->valid = false;
+    ++numInvalidations;
+    return true;
+}
+
+std::optional<EvictedEntry>
+SharedUtlbCache::evictLruOfProcess(ProcId pid)
+{
+    Line *victim = nullptr;
+    for (Line &line : lines) {
+        if (!line.valid || line.pid != pid)
+            continue;
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (!victim)
+        return std::nullopt;
+    EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
+    victim->valid = false;
+    ++numEvictions;
+    return out;
+}
+
+std::size_t
+SharedUtlbCache::invalidateProcess(ProcId pid)
+{
+    std::size_t count = 0;
+    for (Line &line : lines) {
+        if (line.valid && line.pid == pid) {
+            line.valid = false;
+            ++count;
+        }
+    }
+    numInvalidations += count;
+    return count;
+}
+
+void
+SharedUtlbCache::clear()
+{
+    for (Line &line : lines)
+        line.valid = false;
+}
+
+std::size_t
+SharedUtlbCache::validEntries() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(lines.begin(), lines.end(),
+                      [](const Line &l) { return l.valid; }));
+}
+
+std::size_t
+SharedUtlbCache::occupancyOf(ProcId pid) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        lines.begin(), lines.end(), [pid](const Line &l) {
+            return l.valid && l.pid == pid;
+        }));
+}
+
+void
+SharedUtlbCache::resetStats()
+{
+    numHits = numMisses = numInserts = numEvictions = 0;
+    numInvalidations = 0;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The Shared UTLB-Cache (§3.2, Figure 3).
+ *
+ * A process-tagged translation cache in NIC SRAM shared by all
+ * processes using the board. Entries map (process, virtual page) to
+ * a physical frame. The cache is direct-mapped or set-associative;
+ * a process-dependent index offset ("a simple scheme to reduce the
+ * conflict misses is to offset a translation table index by a
+ * process-dependent constant", §3.2) hashes different processes'
+ * pages to different sets.
+ *
+ * Cost model: a hit is the constant 0.8 us of Table 2. Because the
+ * LANai firmware "can only check one cache entry at a time" (§6.3),
+ * each additional way probed adds perWayProbeCost; this is what makes
+ * set-associativity lose on lookup cost even when it wins on miss
+ * rate (Table 8 discussion).
+ *
+ * Tag-width note: the paper stores an 8-bit address tag and a 4-bit
+ * process tag per line and relies on the garbage page to absorb any
+ * false hits. We store full tags, so a hit is always correct;
+ * EXPERIMENTS.md discusses the (negligible) behavioural difference.
+ */
+
+#ifndef UTLB_CORE_SHARED_CACHE_HPP
+#define UTLB_CORE_SHARED_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/types.hpp"
+
+namespace utlb::core {
+
+/** Static configuration of a Shared UTLB-Cache. */
+struct CacheConfig {
+    std::size_t entries = 8192;   //!< total entries (8 K = 32 KB, §4.2)
+    unsigned assoc = 1;           //!< 1 (direct), 2, or 4 in the paper
+    bool indexOffsetting = true;  //!< process-dependent index offset
+};
+
+/** An entry pushed out of the cache by an insertion. */
+struct EvictedEntry {
+    mem::ProcId pid;
+    mem::Vpn vpn;
+    mem::Pfn pfn;
+};
+
+/** Outcome of a cache probe, including the modeled firmware time. */
+struct CacheProbe {
+    bool hit = false;
+    mem::Pfn pfn = mem::kInvalidPfn;
+    sim::Tick cost = 0;
+};
+
+/**
+ * The NIC-resident shared translation cache.
+ *
+ * Within a set, replacement is LRU (the firmware keeps a per-line
+ * use stamp). The cache does not know about pinning; callers keep
+ * it coherent by invalidating entries when pages are unpinned.
+ */
+class SharedUtlbCache
+{
+  public:
+    /**
+     * Build a cache. If @p board_sram is non-null the cache claims
+     * its line storage (4 bytes per entry, as in the paper's 32 KB
+     * for 8 K entries) from board SRAM and dies fatally if it does
+     * not fit.
+     */
+    SharedUtlbCache(const CacheConfig &cfg, const nic::NicTimings &t,
+                    nic::Sram *board_sram = nullptr);
+
+    std::size_t entries() const { return config.entries; }
+    unsigned assoc() const { return config.assoc; }
+    std::size_t sets() const { return numSets; }
+    const CacheConfig &cfg() const { return config; }
+
+    /** Probe for (pid, vpn); updates LRU and hit/miss counters. */
+    CacheProbe lookup(mem::ProcId pid, mem::Vpn vpn);
+
+    /** Probe without updating state or counters. */
+    std::optional<mem::Pfn> peek(mem::ProcId pid, mem::Vpn vpn) const;
+
+    /**
+     * Install a translation, evicting the set's LRU entry if the
+     * set is full.
+     * @return the displaced entry, if any.
+     */
+    std::optional<EvictedEntry>
+    insert(mem::ProcId pid, mem::Vpn vpn, mem::Pfn pfn);
+
+    /** Drop one translation. @return true if it was present. */
+    bool invalidate(mem::ProcId pid, mem::Vpn vpn);
+
+    /**
+     * Forcibly evict the least recently used entry belonging to
+     * @p pid (used by the interrupt-based baseline when a pin limit
+     * forces it to shed a cached page).
+     * @return the evicted entry, or nullopt if the process caches
+     *         nothing.
+     */
+    std::optional<EvictedEntry> evictLruOfProcess(mem::ProcId pid);
+
+    /** Drop all translations of a process. @return count dropped. */
+    std::size_t invalidateProcess(mem::ProcId pid);
+
+    /** Drop everything. */
+    void clear();
+
+    /** Number of currently valid entries. */
+    std::size_t validEntries() const;
+
+    /** Number of valid entries belonging to @p pid (occupancy). */
+    std::size_t occupancyOf(mem::ProcId pid) const;
+
+    /** The set index (pid, vpn) maps to; exposed for tests. */
+    std::size_t setIndex(mem::ProcId pid, mem::Vpn vpn) const;
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+    std::uint64_t insertions() const { return numInserts; }
+    std::uint64_t evictions() const { return numEvictions; }
+    std::uint64_t invalidations() const { return numInvalidations; }
+    /** @} */
+
+    /** Reset counters (state untouched). */
+    void resetStats();
+
+  private:
+    struct Line {
+        bool valid = false;
+        mem::ProcId pid = 0;
+        mem::Vpn vpn = 0;
+        mem::Pfn pfn = mem::kInvalidPfn;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *findLine(mem::ProcId pid, mem::Vpn vpn, unsigned *probes);
+    const Line *findLine(mem::ProcId pid, mem::Vpn vpn) const;
+
+    CacheConfig config;
+    const nic::NicTimings *timings;
+    std::size_t numSets;
+    std::vector<Line> lines;  //!< numSets * assoc, set-major
+    std::uint64_t useClock = 0;
+
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+    std::uint64_t numInserts = 0;
+    std::uint64_t numEvictions = 0;
+    std::uint64_t numInvalidations = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_SHARED_CACHE_HPP

@@ -1,0 +1,47 @@
+#include "core/table_pager.hpp"
+
+namespace utlb::core {
+
+void
+TablePager::touch(mem::ProcId pid, mem::Vpn vpn)
+{
+    if (!tables.count(pid))
+        return;
+    std::uint64_t leaf = vpn / HostPageTable::kLeafEntries;
+    std::uint64_t k = key(pid, leaf);
+    auto it = index.find(k);
+    if (it != index.end()) {
+        order.splice(order.end(), order, it->second);
+        return;
+    }
+    order.push_back(LeafRef{pid, leaf});
+    index.emplace(k, std::prev(order.end()));
+}
+
+std::size_t
+TablePager::balance()
+{
+    if (physMem->freeFrames() >= config.lowWaterFrames)
+        return 0;
+
+    std::size_t reclaimed = 0;
+    auto it = order.begin();
+    while (it != order.end() && reclaimed < config.batchLeaves) {
+        auto table_it = tables.find(it->pid);
+        if (table_it == tables.end()) {
+            index.erase(key(it->pid, it->leaf));
+            it = order.erase(it);
+            continue;
+        }
+        mem::Vpn probe_vpn = it->leaf * HostPageTable::kLeafEntries;
+        if (table_it->second->swapOutLeaf(probe_vpn)) {
+            ++reclaimed;
+            ++numSwapOuts;
+        }
+        index.erase(key(it->pid, it->leaf));
+        it = order.erase(it);
+    }
+    return reclaimed;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Second-level translation-table paging (§3.3's extension).
+ *
+ * "In rare situations, the second-level translation tables in the
+ * Hierarchical-UTLB occupy too much physical memory. A solution to
+ * this problem is to manage the second-level translation tables in
+ * the same manner as virtual memory paging... When the network
+ * interface detects that a page of the second-level table has been
+ * swapped out, it can interrupt the host OS to bring in the page."
+ *
+ * TablePager implements that policy layer: it watches host memory
+ * pressure and swaps out the least-recently-used leaf tables of the
+ * processes it manages. A swapped-out leaf is detected by the NIC
+ * miss path as an invalid run, which falls back to the host
+ * interrupt; the driver's pin-and-install then swaps the leaf back
+ * in (HostPageTable::set does this transparently), so correctness
+ * never depends on the pager — only memory footprint does.
+ */
+
+#ifndef UTLB_CORE_TABLE_PAGER_HPP
+#define UTLB_CORE_TABLE_PAGER_HPP
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/translation_table.hpp"
+#include "mem/page.hpp"
+#include "mem/phys_memory.hpp"
+
+namespace utlb::core {
+
+/** Pager configuration. */
+struct TablePagerConfig {
+    /**
+     * Swap-out trigger: when free host frames drop below this
+     * count, the pager starts evicting cold leaves.
+     */
+    std::size_t lowWaterFrames = 64;
+
+    /** How many leaves to reclaim per balance() pass. */
+    std::size_t batchLeaves = 4;
+};
+
+/**
+ * LRU pager over the leaf tables of one or more HostPageTables.
+ *
+ * Usage: register tables, call touch() when a leaf is used (the
+ * trace-driven and VMMC paths call it on every miss-path table
+ * read), and call balance() periodically (e.g. after each pin
+ * ioctl). touch() also records leaves the pager has not seen yet.
+ */
+class TablePager
+{
+  public:
+    TablePager(mem::PhysMemory &host_mem, const TablePagerConfig &cfg)
+        : physMem(&host_mem), config(cfg)
+    {}
+
+    TablePager(const TablePager &) = delete;
+    TablePager &operator=(const TablePager &) = delete;
+
+    /** Manage @p table's leaves. */
+    void
+    registerTable(HostPageTable &table)
+    {
+        tables.emplace(table.pid(), &table);
+    }
+
+    /** Stop managing a process (e.g. on exit). */
+    void
+    unregisterTable(mem::ProcId pid)
+    {
+        tables.erase(pid);
+        for (auto it = order.begin(); it != order.end();) {
+            if (it->pid == pid) {
+                index.erase(key(it->pid, it->leaf));
+                it = order.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** Record a use of the leaf covering (pid, vpn). */
+    void touch(mem::ProcId pid, mem::Vpn vpn);
+
+    /**
+     * If free memory is below the low-water mark, swap out up to
+     * batchLeaves cold leaves.
+     * @return the number of leaves swapped out.
+     */
+    std::size_t balance();
+
+    /** Leaves currently tracked as resident. */
+    std::size_t trackedLeaves() const { return order.size(); }
+
+    /** Total leaves swapped out over the pager's lifetime. */
+    std::uint64_t totalSwapOuts() const { return numSwapOuts; }
+
+  private:
+    struct LeafRef {
+        mem::ProcId pid;
+        std::uint64_t leaf;  //!< vpn / kLeafEntries
+    };
+
+    static std::uint64_t
+    key(mem::ProcId pid, std::uint64_t leaf)
+    {
+        return (static_cast<std::uint64_t>(pid) << 40) | leaf;
+    }
+
+    mem::PhysMemory *physMem;
+    TablePagerConfig config;
+    std::unordered_map<mem::ProcId, HostPageTable *> tables;
+    std::list<LeafRef> order;  //!< front = least recently touched
+    std::unordered_map<std::uint64_t, std::list<LeafRef>::iterator>
+        index;
+    std::uint64_t numSwapOuts = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_TABLE_PAGER_HPP

@@ -1,0 +1,266 @@
+#include "core/translation_table.hpp"
+
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::Pfn;
+using mem::Vpn;
+using sim::fatal;
+using sim::panic;
+
+// ---------------------------------------------------------------------
+// NicTranslationTable
+// ---------------------------------------------------------------------
+
+NicTranslationTable::NicTranslationTable(nic::Sram &board_sram,
+                                         mem::ProcId pid,
+                                         std::size_t entries,
+                                         mem::Pfn garbage_frame)
+    : sram(&board_sram), procId(pid), numEntries(entries),
+      garbagePfn(garbage_frame)
+{
+    if (entries == 0)
+        fatal("per-process UTLB table requires at least one entry");
+    auto addr = sram->alloc("utlb-table." + std::to_string(pid),
+                            entries * 4);
+    if (!addr)
+        fatal("NIC SRAM exhausted allocating %zu-entry table for "
+              "pid %u", entries, pid);
+    base = *addr;
+    for (std::size_t i = 0; i < entries; ++i)
+        sram->writeWord(base + static_cast<nic::SramAddr>(i * 4),
+                        static_cast<std::uint32_t>(garbage_frame));
+}
+
+void
+NicTranslationTable::install(UtlbIndex index, Pfn pfn)
+{
+    if (index >= numEntries)
+        panic("install at out-of-range UTLB index %u", index);
+    if (!isValid(index) && pfn != garbagePfn)
+        ++numValid;
+    else if (isValid(index) && pfn == garbagePfn)
+        --numValid;
+    sram->writeWord(base + index * 4, static_cast<std::uint32_t>(pfn));
+}
+
+void
+NicTranslationTable::invalidate(UtlbIndex index)
+{
+    install(index, garbagePfn);
+}
+
+Pfn
+NicTranslationTable::entry(UtlbIndex index) const
+{
+    // User-submitted indices are deliberately not validated: the
+    // garbage-page initialization makes any slot safe to use, and an
+    // out-of-range index simply behaves like a garbage slot.
+    if (index >= numEntries)
+        return garbagePfn;
+    return sram->readWord(base + index * 4);
+}
+
+bool
+NicTranslationTable::isValid(UtlbIndex index) const
+{
+    return index < numEntries && entry(index) != garbagePfn;
+}
+
+// ---------------------------------------------------------------------
+// HostPageTable
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+
+} // namespace
+
+HostPageTable::HostPageTable(mem::PhysMemory &host_mem, mem::ProcId pid,
+                             nic::Sram *board_sram,
+                             std::size_t dir_slots)
+    : hostMem(&host_mem), procId(pid)
+{
+    if (board_sram) {
+        // The top-level directory lives in NIC SRAM (§3.3) so that a
+        // cache miss costs one SRAM reference plus one DMA.
+        auto addr = board_sram->alloc(
+            "utlb-dir." + std::to_string(pid), dir_slots * 4);
+        if (!addr)
+            fatal("NIC SRAM exhausted allocating UTLB directory for "
+                  "pid %u", pid);
+    }
+}
+
+HostPageTable::~HostPageTable()
+{
+    for (auto &[idx, de] : dir) {
+        if (!de.swapped && de.leafFrame != mem::kInvalidPfn)
+            hostMem->freeFrame(de.leafFrame);
+    }
+}
+
+HostPageTable::DirEntry *
+HostPageTable::residentLeaf(Vpn vpn)
+{
+    auto it = dir.find(dirIndexOf(vpn));
+    if (it == dir.end() || it->second.swapped)
+        return nullptr;
+    return &it->second;
+}
+
+const HostPageTable::DirEntry *
+HostPageTable::residentLeaf(Vpn vpn) const
+{
+    auto it = dir.find(dirIndexOf(vpn));
+    if (it == dir.end() || it->second.swapped)
+        return nullptr;
+    return &it->second;
+}
+
+std::uint64_t
+HostPageTable::entryAddr(const DirEntry &de, Vpn vpn) const
+{
+    return mem::frameAddr(de.leafFrame)
+        + (vpn % kLeafEntries) * sizeof(std::uint64_t);
+}
+
+bool
+HostPageTable::set(Vpn vpn, Pfn pfn)
+{
+    auto [it, inserted] = dir.try_emplace(dirIndexOf(vpn));
+    DirEntry &de = it->second;
+    if (inserted) {
+        auto frame = hostMem->allocFrame(kKernelPid);
+        if (!frame) {
+            dir.erase(it);
+            return false;
+        }
+        hostMem->zeroFrame(*frame);
+        de.leafFrame = *frame;
+    } else if (de.swapped) {
+        if (!swapInLeaf(vpn))
+            return false;
+    }
+
+    std::uint64_t word = kValidBit | pfn;
+    std::uint8_t buf[8];
+    std::memcpy(buf, &word, 8);
+
+    // Track the valid count by reading the previous word.
+    std::uint8_t prev[8];
+    hostMem->read(entryAddr(de, vpn), prev);
+    std::uint64_t prev_word;
+    std::memcpy(&prev_word, prev, 8);
+    if (!(prev_word & kValidBit))
+        ++numValid;
+
+    hostMem->write(entryAddr(de, vpn), buf);
+    return true;
+}
+
+bool
+HostPageTable::clear(Vpn vpn)
+{
+    DirEntry *de = residentLeaf(vpn);
+    if (!de)
+        return false;
+    std::uint8_t buf[8];
+    hostMem->read(entryAddr(*de, vpn), buf);
+    std::uint64_t word;
+    std::memcpy(&word, buf, 8);
+    if (!(word & kValidBit))
+        return false;
+    word = 0;
+    std::memcpy(buf, &word, 8);
+    hostMem->write(entryAddr(*de, vpn), buf);
+    --numValid;
+    return true;
+}
+
+std::optional<Pfn>
+HostPageTable::get(Vpn vpn) const
+{
+    const DirEntry *de = residentLeaf(vpn);
+    if (!de)
+        return std::nullopt;
+    std::uint8_t buf[8];
+    hostMem->read(entryAddr(*de, vpn), buf);
+    std::uint64_t word;
+    std::memcpy(&word, buf, 8);
+    if (!(word & kValidBit))
+        return std::nullopt;
+    return word & ~kValidBit;
+}
+
+std::vector<std::optional<Pfn>>
+HostPageTable::readRun(Vpn vpn, std::size_t n) const
+{
+    std::vector<std::optional<Pfn>> out;
+    const DirEntry *de = residentLeaf(vpn);
+    if (!de)
+        return out;
+
+    std::size_t in_leaf = kLeafEntries
+        - static_cast<std::size_t>(vpn % kLeafEntries);
+    std::size_t count = std::min(n, in_leaf);
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint8_t buf[8];
+        hostMem->read(entryAddr(*de, vpn + i), buf);
+        std::uint64_t word;
+        std::memcpy(&word, buf, 8);
+        if (word & kValidBit)
+            out.emplace_back(word & ~kValidBit);
+        else
+            out.emplace_back(std::nullopt);
+    }
+    return out;
+}
+
+bool
+HostPageTable::swapOutLeaf(Vpn vpn)
+{
+    DirEntry *de = residentLeaf(vpn);
+    if (!de)
+        return false;
+    de->diskBlock.resize(mem::kPageSize);
+    hostMem->read(mem::frameAddr(de->leafFrame), de->diskBlock);
+    hostMem->freeFrame(de->leafFrame);
+    de->leafFrame = mem::kInvalidPfn;
+    de->swapped = true;
+    ++numSwapOuts;
+    return true;
+}
+
+bool
+HostPageTable::swapInLeaf(Vpn vpn)
+{
+    auto it = dir.find(dirIndexOf(vpn));
+    if (it == dir.end() || !it->second.swapped)
+        return false;
+    DirEntry &de = it->second;
+    auto frame = hostMem->allocFrame(kKernelPid);
+    if (!frame)
+        return false;
+    de.leafFrame = *frame;
+    hostMem->write(mem::frameAddr(de.leafFrame), de.diskBlock);
+    de.diskBlock.clear();
+    de.diskBlock.shrink_to_fit();
+    de.swapped = false;
+    ++numSwapIns;
+    return true;
+}
+
+bool
+HostPageTable::leafSwappedOut(Vpn vpn) const
+{
+    auto it = dir.find(dirIndexOf(vpn));
+    return it != dir.end() && it->second.swapped;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,112 @@
+#include "core/utlb.hpp"
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+using mem::Vpn;
+
+UserUtlb::UserUtlb(UtlbDriver &drv, SharedUtlbCache &cache,
+                   const nic::NicTimings &t, mem::ProcId pid,
+                   const UtlbConfig &config)
+    : driver(&drv), nicCache(&cache), timings(&t), procId(pid),
+      cfg(config), pinMgr(drv, pid, config.pin)
+{
+    if (cfg.prefetchEntries == 0)
+        sim::fatal("prefetchEntries must be >= 1");
+}
+
+EnsureResult
+UserUtlb::prepare(mem::VirtAddr va, std::size_t nbytes)
+{
+    Vpn start = mem::pageOf(va);
+    std::size_t npages = mem::pagesSpanned(va, nbytes);
+    if (npages == 0)
+        return EnsureResult{};
+    return pinMgr.ensurePinned(start, npages);
+}
+
+NicLookup
+UserUtlb::nicTranslate(Vpn vpn)
+{
+    NicLookup out;
+    CacheProbe probe = nicCache->lookup(procId, vpn);
+    out.cost += probe.cost;
+    if (probe.hit) {
+        out.pfn = probe.pfn;
+        return out;
+    }
+
+    out.miss = true;
+    HostPageTable &table = driver->pageTable(procId);
+    auto run = table.readRun(vpn, cfg.prefetchEntries);
+
+    if (run.empty() || !run[0]) {
+        // The page is not pinned: only reachable when the host-side
+        // prepare() was bypassed. Fall back to interrupting the host
+        // (§3.1), pinning on the NIC's behalf.
+        out.fault = true;
+        ++numFaults;
+        out.cost += timings->interruptCost;
+        IoctlResult io = driver->ioctlPinAndInstall(procId, vpn, 1);
+        out.cost += io.cost;
+        if (io.status != mem::PinStatus::Ok) {
+            out.pfn = driver->garbageFrame();
+            return out;
+        }
+        run = table.readRun(vpn, cfg.prefetchEntries);
+    }
+
+    // Install the missing entry plus any valid prefetched neighbours
+    // ("in order for prefetching to work well, translations for
+    // contiguous application pages must be available", §6.4).
+    std::size_t installed = 0;
+    for (std::size_t i = 0; i < run.size(); ++i) {
+        if (!run[i])
+            continue;
+        nicCache->insert(procId, vpn + i, *run[i]);
+        ++installed;
+    }
+    out.fetched = run.size();
+    out.cost += timings->missHandleCost(run.empty() ? 1 : run.size());
+    if (installed == 0 || !run[0]) {
+        out.pfn = driver->garbageFrame();
+        return out;
+    }
+    out.pfn = *run[0];
+    return out;
+}
+
+Translation
+UserUtlb::translate(mem::VirtAddr va, std::size_t nbytes)
+{
+    Translation tr;
+    std::size_t npages = mem::pagesSpanned(va, nbytes);
+    if (npages == 0)
+        return tr;
+
+    EnsureResult host = prepare(va, nbytes);
+    tr.hostCost = host.cost;
+    tr.checkMiss = host.checkMiss;
+    tr.pagesPinned = host.pagesPinned;
+    tr.pagesUnpinned = host.pagesUnpinned;
+    if (!host.ok) {
+        tr.ok = false;
+        return tr;
+    }
+
+    Vpn start = mem::pageOf(va);
+    tr.pageAddrs.reserve(npages);
+    for (std::size_t i = 0; i < npages; ++i) {
+        NicLookup nl = nicTranslate(start + i);
+        tr.nicCost += nl.cost;
+        if (nl.miss)
+            ++tr.niMisses;
+        if (nl.fault)
+            ++tr.faults;
+        tr.pageAddrs.push_back(mem::frameAddr(nl.pfn));
+    }
+    return tr;
+}
+
+} // namespace utlb::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The Hierarchical-UTLB facade (§3.3 + §3.2 + §6.4).
+ *
+ * UserUtlb ties together the pieces a process uses to translate a
+ * buffer for communication:
+ *
+ *  host side  — the pin manager's bit-vector check and demand-driven
+ *               pinning via the driver ioctl (prepare());
+ *  NIC side   — the Shared UTLB-Cache probe and, on a miss, a DMA
+ *               fetch of up to prefetchEntries consecutive entries
+ *               from the host-resident page table (nicTranslate()).
+ *
+ * translate() runs both halves for a full buffer, one page at a time
+ * (the Myrinet firmware "breaks down data transfer at 4 KB page
+ * boundaries. Translation lookups are performed one page at a
+ * time", §5 footnote).
+ *
+ * If the NIC ever finds an invalid host-table entry (the page was
+ * not pinned — only possible when a caller bypasses prepare()), it
+ * falls back to interrupting the host to pin the page (§3.1's
+ * safety note), which is counted in nicFaults.
+ */
+
+#ifndef UTLB_CORE_UTLB_HPP
+#define UTLB_CORE_UTLB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/pin_manager.hpp"
+#include "core/shared_cache.hpp"
+#include "nic/timing.hpp"
+
+namespace utlb::core {
+
+/** Configuration of one process' UTLB view. */
+struct UtlbConfig {
+    PinManagerConfig pin;
+
+    /**
+     * Entries fetched from the host table per NIC cache miss
+     * (§6.4 prefetching); 1 = no prefetch.
+     */
+    std::size_t prefetchEntries = 1;
+};
+
+/** NIC-side outcome for one page. */
+struct NicLookup {
+    mem::Pfn pfn = mem::kInvalidPfn;
+    sim::Tick cost = 0;
+    bool miss = false;
+    bool fault = false;       //!< host-table entry was invalid
+    std::size_t fetched = 0;  //!< entries DMAed on a miss
+};
+
+/** Full translation of a user buffer. */
+struct Translation {
+    bool ok = true;
+    std::vector<mem::PhysAddr> pageAddrs;  //!< one per page
+    sim::Tick hostCost = 0;
+    sim::Tick nicCost = 0;
+    bool checkMiss = false;
+    std::size_t niMisses = 0;
+    std::size_t pagesPinned = 0;
+    std::size_t pagesUnpinned = 0;
+    std::size_t faults = 0;
+};
+
+/**
+ * A process' handle on the Hierarchical-UTLB.
+ *
+ * One instance per (process, NIC) pair; all instances on a node
+ * share the same SharedUtlbCache and UtlbDriver.
+ */
+class UserUtlb
+{
+  public:
+    UserUtlb(UtlbDriver &drv, SharedUtlbCache &cache,
+             const nic::NicTimings &timings, mem::ProcId pid,
+             const UtlbConfig &cfg);
+
+    mem::ProcId pid() const { return procId; }
+    const UtlbConfig &config() const { return cfg; }
+
+    /**
+     * Host-side half: make sure every page of [va, va+nbytes) is
+     * pinned with translations installed.
+     */
+    EnsureResult prepare(mem::VirtAddr va, std::size_t nbytes);
+
+    /** NIC-side half: translate one virtual page. */
+    NicLookup nicTranslate(mem::Vpn vpn);
+
+    /** Both halves over a whole buffer. */
+    Translation translate(mem::VirtAddr va, std::size_t nbytes);
+
+    PinManager &pinManager() { return pinMgr; }
+    const PinManager &pinManager() const { return pinMgr; }
+
+    /** NIC-side fault counter (unpinned page seen by the NIC). */
+    std::uint64_t nicFaults() const { return numFaults; }
+
+  private:
+    UtlbDriver *driver;
+    SharedUtlbCache *nicCache;
+    const nic::NicTimings *timings;
+    mem::ProcId procId;
+    UtlbConfig cfg;
+    PinManager pinMgr;
+    std::uint64_t numFaults = 0;
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_UTLB_HPP

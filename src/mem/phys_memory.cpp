@@ -1,0 +1,91 @@
+#include "mem/phys_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace utlb::mem {
+
+using sim::panic;
+
+PhysMemory::PhysMemory(std::size_t frames)
+    : bytes(new std::uint8_t[frames * kPageSize]),
+      owners(frames, kNoOwner)
+{
+    freeList.reserve(frames);
+    // Descending so pop_back yields the lowest free frame first.
+    for (std::size_t i = frames; i-- > 0;)
+        freeList.push_back(static_cast<Pfn>(i));
+}
+
+std::optional<Pfn>
+PhysMemory::allocFrame(ProcId owner)
+{
+    if (freeList.empty())
+        return std::nullopt;
+    Pfn pfn = freeList.back();
+    freeList.pop_back();
+    owners[pfn] = owner;
+    ++numAllocated;
+    ++numAllocs;
+    // Fresh frames read as zero, like DRAM handed out by an OS; the
+    // backing store itself is never bulk-initialized.
+    std::memset(bytes.get() + frameAddr(pfn), 0, kPageSize);
+    return pfn;
+}
+
+void
+PhysMemory::freeFrame(Pfn pfn)
+{
+    if (pfn >= owners.size() || owners[pfn] == kNoOwner)
+        panic("freeFrame of unallocated frame %llu",
+              static_cast<unsigned long long>(pfn));
+    owners[pfn] = kNoOwner;
+    freeList.push_back(pfn);
+    --numAllocated;
+    ++numFrees;
+}
+
+ProcId
+PhysMemory::ownerOf(Pfn pfn) const
+{
+    return pfn < owners.size() ? owners[pfn] : kNoOwner;
+}
+
+bool
+PhysMemory::isAllocated(Pfn pfn) const
+{
+    return pfn < owners.size() && owners[pfn] != kNoOwner;
+}
+
+void
+PhysMemory::checkRange(PhysAddr pa, std::size_t len) const
+{
+    if (pa + len > capacityBytes() || pa + len < pa)
+        panic("physical access [%llu, +%zu) out of range",
+              static_cast<unsigned long long>(pa), len);
+}
+
+void
+PhysMemory::read(PhysAddr pa, std::span<std::uint8_t> out) const
+{
+    checkRange(pa, out.size());
+    std::memcpy(out.data(), bytes.get() + pa, out.size());
+}
+
+void
+PhysMemory::write(PhysAddr pa, std::span<const std::uint8_t> in)
+{
+    checkRange(pa, in.size());
+    std::memcpy(bytes.get() + pa, in.data(), in.size());
+}
+
+void
+PhysMemory::zeroFrame(Pfn pfn)
+{
+    checkRange(frameAddr(pfn), kPageSize);
+    std::memset(bytes.get() + frameAddr(pfn), 0, kPageSize);
+}
+
+} // namespace utlb::mem

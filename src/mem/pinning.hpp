@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The OS page pinning/unpinning facility.
+ *
+ * The paper's only OS requirement is "a device driver that accesses
+ * the OS page-pinning and unpinning facility" (§1). This class is
+ * that facility: it refcounts pins per (process, virtual page),
+ * enforces an optional per-process pin limit (the 4 MB / 16 MB
+ * constraints of §6.2 and §6.5), and guarantees a pinned page's frame
+ * stays resident (we model that by simply never reclaiming mapped
+ * frames; the invariant tests check pinned mappings are stable).
+ */
+
+#ifndef UTLB_MEM_PINNING_HPP
+#define UTLB_MEM_PINNING_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/page.hpp"
+
+namespace utlb::mem {
+
+/** Result status of a pin request. */
+enum class PinStatus {
+    Ok,             //!< pinned, translation available
+    LimitExceeded,  //!< per-process pin limit would be exceeded
+    OutOfMemory,    //!< host physical memory exhausted
+    UnknownProcess, //!< process not registered
+    NotPinned,      //!< unpin of a page that is not pinned
+};
+
+/** Human-readable name of a PinStatus. */
+const char *toString(PinStatus s);
+
+/**
+ * Kernel pin/unpin service with per-process accounting.
+ *
+ * Pins are refcounted: a page pinned twice must be unpinned twice
+ * before its frame may be evicted/reused. The per-process limit
+ * counts distinct pinned pages, not refcounts, matching how a real
+ * OS accounts locked memory.
+ */
+class PinFacility
+{
+  public:
+    PinFacility() = default;
+
+    PinFacility(const PinFacility &) = delete;
+    PinFacility &operator=(const PinFacility &) = delete;
+
+    /** Register a process' address space. */
+    void registerSpace(AddressSpace &space);
+
+    /** Remove a process; implicitly unpins everything it had. */
+    void unregisterProcess(ProcId pid);
+
+    /**
+     * Set the per-process pin limit in pages (0 = unlimited).
+     * Lowering the limit below the current pin count is allowed; it
+     * only affects future pins.
+     */
+    void setPinLimit(ProcId pid, std::size_t pages);
+
+    /** Current limit (0 = unlimited). */
+    std::size_t pinLimit(ProcId pid) const;
+
+    /**
+     * Pin a single page, demand-mapping it first.
+     * @return the frame on success.
+     */
+    std::optional<Pfn> pinPage(ProcId pid, Vpn vpn, PinStatus *st = nullptr);
+
+    /**
+     * Pin a contiguous run of pages all-or-nothing.
+     *
+     * On failure no page of the run remains pinned by this call.
+     * @return the frames on success, nullopt otherwise.
+     */
+    std::optional<std::vector<Pfn>>
+    pinRange(ProcId pid, Vpn start, std::size_t npages,
+             PinStatus *st = nullptr);
+
+    /** Drop one pin reference. */
+    PinStatus unpinPage(ProcId pid, Vpn vpn);
+
+    /** True if the page has at least one pin reference. */
+    bool isPinned(ProcId pid, Vpn vpn) const;
+
+    /** Pin refcount of a page (0 if not pinned). */
+    std::uint32_t pinRefs(ProcId pid, Vpn vpn) const;
+
+    /** Number of distinct pinned pages of a process. */
+    std::size_t pinnedPages(ProcId pid) const;
+
+    /** Translation of a pinned page; nullopt if not pinned. */
+    std::optional<Pfn> pinnedFrame(ProcId pid, Vpn vpn) const;
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t totalPinOps() const { return numPinOps; }
+    std::uint64_t totalUnpinOps() const { return numUnpinOps; }
+    std::uint64_t totalPagesPinned() const { return numPagesPinned; }
+    std::uint64_t totalPagesUnpinned() const { return numPagesUnpinned; }
+    std::uint64_t totalFailedPins() const { return numFailedPins; }
+    /** @} */
+
+  private:
+    struct ProcState {
+        AddressSpace *space = nullptr;
+        std::size_t limit = 0;  //!< pages; 0 = unlimited
+        std::unordered_map<Vpn, std::uint32_t> refs;
+    };
+
+    ProcState *findProc(ProcId pid);
+    const ProcState *findProc(ProcId pid) const;
+
+    std::unordered_map<ProcId, ProcState> procs;
+
+    std::uint64_t numPinOps = 0;
+    std::uint64_t numUnpinOps = 0;
+    std::uint64_t numPagesPinned = 0;
+    std::uint64_t numPagesUnpinned = 0;
+    std::uint64_t numFailedPins = 0;
+};
+
+} // namespace utlb::mem
+
+#endif // UTLB_MEM_PINNING_HPP

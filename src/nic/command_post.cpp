@@ -1,0 +1,107 @@
+#include "nic/command_post.hpp"
+
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace utlb::nic {
+
+using sim::fatal;
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // head word + tail word
+
+void
+encode(const Command &cmd, std::uint8_t *out)
+{
+    std::uint32_t op = static_cast<std::uint32_t>(cmd.op);
+    std::memcpy(out + 0, &op, 4);
+    std::memcpy(out + 4, &cmd.seq, 4);
+    std::memcpy(out + 8, &cmd.localVa, 8);
+    std::memcpy(out + 16, &cmd.nbytes, 4);
+    std::memcpy(out + 20, &cmd.importSlot, 4);
+    std::memcpy(out + 24, &cmd.remoteOffset, 8);
+    std::memcpy(out + 32, &cmd.utlbIndex, 4);
+    std::memset(out + 36, 0, 4);
+}
+
+Command
+decode(const std::uint8_t *in)
+{
+    Command cmd;
+    std::uint32_t op;
+    std::memcpy(&op, in + 0, 4);
+    cmd.op = static_cast<CommandOp>(op);
+    std::memcpy(&cmd.seq, in + 4, 4);
+    std::memcpy(&cmd.localVa, in + 8, 8);
+    std::memcpy(&cmd.nbytes, in + 16, 4);
+    std::memcpy(&cmd.importSlot, in + 20, 4);
+    std::memcpy(&cmd.remoteOffset, in + 24, 8);
+    std::memcpy(&cmd.utlbIndex, in + 32, 4);
+    return cmd;
+}
+
+} // namespace
+
+CommandPost::CommandPost(Sram &board_sram, mem::ProcId pid,
+                         std::size_t slots)
+    : sram(&board_sram), procId(pid), numSlots(slots)
+{
+    if (slots == 0)
+        fatal("CommandPost requires at least one slot");
+    auto size = kHeaderBytes + slots * kCommandBytes;
+    auto addr = sram->alloc("cmdpost." + std::to_string(pid), size);
+    if (!addr)
+        fatal("NIC SRAM exhausted allocating command post for pid %u",
+              pid);
+    base = *addr;
+    sram->writeWord(base, 0);      // head (next to poll)
+    sram->writeWord(base + 4, 0);  // tail (next to post)
+}
+
+SramAddr
+CommandPost::slotAddr(std::uint32_t idx) const
+{
+    return base + kHeaderBytes
+        + static_cast<SramAddr>(idx % numSlots) * kCommandBytes;
+}
+
+std::size_t
+CommandPost::depth() const
+{
+    std::uint32_t head = sram->readWord(base);
+    std::uint32_t tail = sram->readWord(base + 4);
+    return tail - head;
+}
+
+bool
+CommandPost::post(const Command &cmd)
+{
+    if (full()) {
+        ++numRejected;
+        return false;
+    }
+    std::uint32_t tail = sram->readWord(base + 4);
+    std::uint8_t buf[kCommandBytes];
+    encode(cmd, buf);
+    sram->write(slotAddr(tail), buf);
+    sram->writeWord(base + 4, tail + 1);
+    ++numPosted;
+    return true;
+}
+
+std::optional<Command>
+CommandPost::poll()
+{
+    std::uint32_t head = sram->readWord(base);
+    std::uint32_t tail = sram->readWord(base + 4);
+    if (head == tail)
+        return std::nullopt;
+    std::uint8_t buf[kCommandBytes];
+    sram->read(slotAddr(head), buf);
+    sram->writeWord(base, head + 1);
+    return decode(buf);
+}
+
+} // namespace utlb::nic

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-process command post buffers.
+ *
+ * In the paper's VMMC implementation the driver allocates a command
+ * post buffer in NIC SRAM for each process and maps it into the
+ * process' address space; the user library writes commands there and
+ * the firmware (MCP) polls each post in turn (§4.2). The address of
+ * the command buffer identifies the process.
+ *
+ * This model serializes commands into a real SRAM ring so that SRAM
+ * capacity genuinely limits how many posts can exist.
+ */
+
+#ifndef UTLB_NIC_COMMAND_POST_HPP
+#define UTLB_NIC_COMMAND_POST_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/page.hpp"
+#include "nic/sram.hpp"
+
+namespace utlb::nic {
+
+/** Operation requested of the firmware. */
+enum class CommandOp : std::uint32_t {
+    Nop = 0,
+    SendVirt,   //!< remote store; local buffer named by virtual addr
+    FetchVirt,  //!< remote fetch into a local virtual buffer
+    SendIdx,    //!< remote store; buffer named by UTLB table indices
+};
+
+/** A user-level communication request. */
+struct Command {
+    CommandOp op = CommandOp::Nop;
+    std::uint32_t seq = 0;          //!< per-post sequence number
+    std::uint64_t localVa = 0;      //!< local buffer virtual address
+    std::uint32_t nbytes = 0;       //!< transfer length
+    std::uint32_t importSlot = 0;   //!< imported remote buffer handle
+    std::uint64_t remoteOffset = 0; //!< offset within remote buffer
+    std::uint32_t utlbIndex = 0;    //!< for SendIdx (per-process UTLB)
+};
+
+/** Serialized command size in the SRAM ring. */
+inline constexpr std::size_t kCommandBytes = 40;
+
+/**
+ * A single process' command ring in NIC SRAM.
+ *
+ * Layout: [head word][tail word][slot 0..n-1]. The host side calls
+ * post(); the firmware calls poll(). Single producer, single
+ * consumer, no locking needed (matching programmed-I/O posting on
+ * the real board).
+ */
+class CommandPost
+{
+  public:
+    /**
+     * Carve a ring with @p slots command slots out of @p board_sram.
+     * Dies fatally if SRAM is exhausted (configuration error).
+     */
+    CommandPost(Sram &board_sram, mem::ProcId pid, std::size_t slots);
+
+    mem::ProcId pid() const { return procId; }
+    std::size_t capacity() const { return numSlots; }
+
+    /** Number of commands waiting to be polled. */
+    std::size_t depth() const;
+
+    /** True if no command can currently be posted. */
+    bool full() const { return depth() == numSlots; }
+
+    /**
+     * Post a command from the host side.
+     * @return false if the ring is full.
+     */
+    bool post(const Command &cmd);
+
+    /** Firmware side: take the oldest command, if any. */
+    std::optional<Command> poll();
+
+    /** Commands posted over the lifetime of the ring. */
+    std::uint64_t totalPosted() const { return numPosted; }
+
+    /** Commands the host failed to post due to a full ring. */
+    std::uint64_t totalRejected() const { return numRejected; }
+
+  private:
+    SramAddr slotAddr(std::uint32_t idx) const;
+
+    Sram *sram;
+    mem::ProcId procId;
+    std::size_t numSlots;
+    SramAddr base;
+
+    std::uint64_t numPosted = 0;
+    std::uint64_t numRejected = 0;
+};
+
+} // namespace utlb::nic
+
+#endif // UTLB_NIC_COMMAND_POST_HPP

@@ -1,0 +1,44 @@
+#include "nic/dma.hpp"
+
+#include <vector>
+
+namespace utlb::nic {
+
+using sim::Tick;
+
+Tick
+DmaEngine::hostToNic(mem::PhysAddr src, SramAddr dst, std::size_t len)
+{
+    std::vector<std::uint8_t> buf(len);
+    hostMem->read(src, buf);
+    sram->write(dst, buf);
+    numBytesToNic += len;
+    ++numTransfers;
+    return timings->payloadDmaCost(len);
+}
+
+Tick
+DmaEngine::nicToHost(SramAddr src, mem::PhysAddr dst, std::size_t len)
+{
+    std::vector<std::uint8_t> buf(len);
+    sram->read(src, buf);
+    hostMem->write(dst, buf);
+    numBytesToHost += len;
+    ++numTransfers;
+    return timings->payloadDmaCost(len);
+}
+
+Tick
+DmaEngine::hostToHost(mem::PhysAddr src, mem::PhysAddr dst,
+                      std::size_t len)
+{
+    std::vector<std::uint8_t> buf(len);
+    hostMem->read(src, buf);
+    hostMem->write(dst, buf);
+    numBytesToNic += len;
+    numBytesToHost += len;
+    ++numTransfers;
+    return timings->payloadDmaCost(len);
+}
+
+} // namespace utlb::nic

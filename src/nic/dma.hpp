@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NIC DMA engine.
+ *
+ * Moves real bytes between host physical memory and NIC SRAM and
+ * reports the modeled transfer cost. The engine itself is
+ * synchronous; callers (the firmware loop) schedule completions on
+ * the event queue using the returned cost, mirroring how the LANai
+ * firmware blocks on its DMA doorbell.
+ */
+
+#ifndef UTLB_NIC_DMA_HPP
+#define UTLB_NIC_DMA_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "mem/phys_memory.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/types.hpp"
+
+namespace utlb::nic {
+
+/**
+ * The board DMA engine: host <-> SRAM block copies with a calibrated
+ * cost model.
+ */
+class DmaEngine
+{
+  public:
+    DmaEngine(mem::PhysMemory &host, Sram &board_sram,
+              const NicTimings &t)
+        : hostMem(&host), sram(&board_sram), timings(&t)
+    {}
+
+    DmaEngine(const DmaEngine &) = delete;
+    DmaEngine &operator=(const DmaEngine &) = delete;
+
+    /**
+     * Copy @p len bytes from host physical memory into SRAM.
+     * @return the modeled cost of the transfer.
+     */
+    sim::Tick hostToNic(mem::PhysAddr src, SramAddr dst, std::size_t len);
+
+    /** Copy @p len bytes from SRAM into host physical memory. */
+    sim::Tick nicToHost(SramAddr src, mem::PhysAddr dst, std::size_t len);
+
+    /**
+     * Copy host-to-host through the board (receive-side deposit of
+     * data already staged in SRAM is modeled by the two halves; this
+     * helper charges a single descriptor for bounce-free transfers).
+     */
+    sim::Tick hostToHost(mem::PhysAddr src, mem::PhysAddr dst,
+                         std::size_t len);
+
+    /** @name Lifetime counters @{ */
+    std::uint64_t bytesToNic() const { return numBytesToNic; }
+    std::uint64_t bytesToHost() const { return numBytesToHost; }
+    std::uint64_t transfers() const { return numTransfers; }
+    /** @} */
+
+  private:
+    mem::PhysMemory *hostMem;
+    Sram *sram;
+    const NicTimings *timings;
+
+    std::uint64_t numBytesToNic = 0;
+    std::uint64_t numBytesToHost = 0;
+    std::uint64_t numTransfers = 0;
+};
+
+} // namespace utlb::nic
+
+#endif // UTLB_NIC_DMA_HPP

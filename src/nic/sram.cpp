@@ -1,0 +1,96 @@
+#include "nic/sram.hpp"
+
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace utlb::nic {
+
+using sim::panic;
+
+Sram::Sram(std::size_t capacity)
+    : bytes(capacity, 0)
+{
+}
+
+std::optional<SramAddr>
+Sram::alloc(const std::string &name, std::size_t size)
+{
+    if (size == 0)
+        panic("Sram::alloc of zero bytes for region '%s'", name.c_str());
+    // Align regions to 8 bytes.
+    std::size_t base = (nextFree + 7) & ~std::size_t{7};
+    if (base + size > bytes.size())
+        return std::nullopt;
+    nextFree = base + size;
+    regions.push_back(Region{name, static_cast<SramAddr>(base), size});
+    return static_cast<SramAddr>(base);
+}
+
+std::optional<SramAddr>
+Sram::regionBase(const std::string &name) const
+{
+    for (const auto &r : regions) {
+        if (r.name == name)
+            return r.base;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+Sram::regionSize(const std::string &name) const
+{
+    for (const auto &r : regions) {
+        if (r.name == name)
+            return r.size;
+    }
+    return 0;
+}
+
+void
+Sram::checkRange(SramAddr addr, std::size_t len) const
+{
+    if (addr + len > bytes.size())
+        panic("SRAM access [%u, +%zu) beyond capacity %zu",
+              addr, len, bytes.size());
+}
+
+void
+Sram::read(SramAddr addr, std::span<std::uint8_t> out) const
+{
+    checkRange(addr, out.size());
+    std::memcpy(out.data(), bytes.data() + addr, out.size());
+}
+
+void
+Sram::write(SramAddr addr, std::span<const std::uint8_t> in)
+{
+    checkRange(addr, in.size());
+    std::memcpy(bytes.data() + addr, in.data(), in.size());
+}
+
+std::uint32_t
+Sram::readWord(SramAddr addr) const
+{
+    checkRange(addr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, bytes.data() + addr, 4);
+    return v;
+}
+
+void
+Sram::writeWord(SramAddr addr, std::uint32_t value)
+{
+    checkRange(addr, 4);
+    std::memcpy(bytes.data() + addr, &value, 4);
+}
+
+void
+Sram::reset()
+{
+    std::fill(bytes.begin(), bytes.end(), 0);
+    regions.clear();
+    nextFree = 0;
+}
+
+} // namespace utlb::nic

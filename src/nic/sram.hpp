@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Network-interface SRAM.
+ *
+ * The Myrinet PCI interface in the paper has 1 MB of SRAM holding the
+ * firmware, per-process command posts, the Shared UTLB-Cache, and the
+ * top-level UTLB page directories. This class models that store as a
+ * byte array with a simple named-region bump allocator, so components
+ * that claim SRAM contend for the same 1 MB budget the real board had.
+ */
+
+#ifndef UTLB_NIC_SRAM_HPP
+#define UTLB_NIC_SRAM_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace utlb::nic {
+
+/** Offset of a region within NIC SRAM. */
+using SramAddr = std::uint32_t;
+
+/** Default SRAM capacity: 1 MB (LANai 4.2 board, §4.2). */
+inline constexpr std::size_t kDefaultSramBytes = 1u << 20;
+
+/**
+ * NIC static RAM with named-region allocation.
+ *
+ * Regions are never freed individually (firmware data structures are
+ * set up once at initialization, as on the real board); reset() wipes
+ * everything.
+ */
+class Sram
+{
+  public:
+    explicit Sram(std::size_t capacity = kDefaultSramBytes);
+
+    std::size_t capacity() const { return bytes.size(); }
+    std::size_t used() const { return nextFree; }
+    std::size_t available() const { return bytes.size() - nextFree; }
+
+    /**
+     * Allocate @p size bytes for region @p name.
+     * @return the region base, or nullopt if SRAM is exhausted.
+     */
+    std::optional<SramAddr> alloc(const std::string &name,
+                                  std::size_t size);
+
+    /** Base of a named region, or nullopt. */
+    std::optional<SramAddr> regionBase(const std::string &name) const;
+
+    /** Size of a named region, or 0. */
+    std::size_t regionSize(const std::string &name) const;
+
+    /** Read bytes from SRAM. */
+    void read(SramAddr addr, std::span<std::uint8_t> out) const;
+
+    /** Write bytes to SRAM. */
+    void write(SramAddr addr, std::span<const std::uint8_t> in);
+
+    /** Read one 32-bit word (little-endian). */
+    std::uint32_t readWord(SramAddr addr) const;
+
+    /** Write one 32-bit word (little-endian). */
+    void writeWord(SramAddr addr, std::uint32_t value);
+
+    /** Wipe all contents and regions. */
+    void reset();
+
+  private:
+    struct Region {
+        std::string name;
+        SramAddr base;
+        std::size_t size;
+    };
+
+    void checkRange(SramAddr addr, std::size_t len) const;
+
+    std::vector<std::uint8_t> bytes;
+    std::vector<Region> regions;
+    std::size_t nextFree = 0;
+};
+
+} // namespace utlb::nic
+
+#endif // UTLB_NIC_SRAM_HPP

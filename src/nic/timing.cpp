@@ -1,0 +1,62 @@
+#include "nic/timing.hpp"
+
+#include "sim/calibration.hpp"
+
+namespace utlb::nic {
+
+using sim::CalCurve;
+using sim::Tick;
+
+namespace {
+
+/** Table 2, "DMA cost" row: fetching n entries over the I/O bus. */
+const CalCurve &
+dmaCurve()
+{
+    static const CalCurve curve{
+        {1, 1.5}, {2, 1.6}, {4, 1.6}, {8, 1.9}, {16, 2.1}, {32, 2.5}};
+    return curve;
+}
+
+/** Table 2, "total miss cost" row: directory ref + DMA + install. */
+const CalCurve &
+missCurve()
+{
+    static const CalCurve curve{
+        {1, 1.8}, {2, 1.9}, {4, 1.9}, {8, 2.3}, {16, 2.8}, {32, 3.2}};
+    return curve;
+}
+
+} // namespace
+
+Tick
+NicTimings::entryFetchCost(std::size_t entries) const
+{
+    if (entries == 0)
+        sim::panic("entryFetchCost of zero entries");
+    return dmaCurve().ticksAt(entries);
+}
+
+Tick
+NicTimings::missHandleCost(std::size_t entries) const
+{
+    if (entries == 0)
+        sim::panic("missHandleCost of zero entries");
+    return missCurve().ticksAt(entries);
+}
+
+Tick
+NicTimings::payloadDmaCost(std::size_t bytes) const
+{
+    double sec = static_cast<double>(bytes) / dmaBytesPerSec;
+    return dmaSetup + static_cast<Tick>(sec * 1e12 + 0.5);
+}
+
+Tick
+NicTimings::linkTransferCost(std::size_t bytes) const
+{
+    double sec = static_cast<double>(bytes) / linkBytesPerSec;
+    return static_cast<Tick>(sec * 1e12 + 0.5);
+}
+
+} // namespace utlb::nic

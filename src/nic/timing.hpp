@@ -1,0 +1,98 @@
+/**
+ * @file
+ * NIC timing model calibrated to the paper's Myrinet measurements.
+ *
+ * The paper's hardware (LANai 4.2 at 33 MHz, PCI I/O bus, 160 MB/s
+ * links) is not available, so NIC-side costs are reproduced from the
+ * paper's own microbenchmarks:
+ *
+ *  - Table 2 gives the DMA cost of fetching 1..32 UTLB translation
+ *    entries over the I/O bus and the total miss-handling cost.
+ *  - §5 gives the constant 0.8 us Shared UTLB-Cache hit cost and the
+ *    0.5 us accuracy of the LANai real-time clock.
+ *
+ * Entry-fetch DMA cost is a calibrated curve: exact at the measured
+ * points {1,2,4,8,16,32}, log-linear interpolated between them, and
+ * linearly extrapolated past 32. Payload DMA uses a conventional
+ * setup + bytes/bandwidth model.
+ */
+
+#ifndef UTLB_NIC_TIMING_HPP
+#define UTLB_NIC_TIMING_HPP
+
+#include <cstddef>
+
+#include "sim/types.hpp"
+
+namespace utlb::nic {
+
+/**
+ * All NIC-side timing constants in one place.
+ *
+ * Every field can be overridden to model other boards; defaults are
+ * the paper's measurements.
+ */
+struct NicTimings {
+    /** LANai clock period: 33 MHz (§4.2). */
+    sim::Tick cyclePeriod = sim::nsToTicks(30.3);
+
+    /** One firmware SRAM data reference (used per cache-way probe). */
+    sim::Tick sramAccess = sim::nsToTicks(60.0);
+
+    /**
+     * Shared UTLB-Cache hit cost, constant per Table 2's caption
+     * ("The hit cost is a constant 0.8 us").
+     */
+    sim::Tick cacheHitCost = sim::usToTicks(0.8);
+
+    /**
+     * Extra probe cost per additional way checked beyond the first.
+     * The firmware checks one entry at a time (§6.3), which is why
+     * set-associative lookups cost more than direct-mapped ones.
+     */
+    sim::Tick perWayProbeCost = sim::usToTicks(0.2);
+
+    /**
+     * SRAM reference to the top-level UTLB page directory during
+     * miss handling (§3.3: "one memory reference in the SRAM").
+     */
+    sim::Tick directoryRefCost = sim::usToTicks(0.3);
+
+    /** Payload DMA setup cost (descriptor + doorbell). */
+    sim::Tick dmaSetup = sim::usToTicks(1.0);
+
+    /** Payload DMA bandwidth over PCI, bytes/sec (~133 MB/s). */
+    double dmaBytesPerSec = 133.0e6;
+
+    /** Network link bandwidth (160 MB/s per link, §4.2). */
+    double linkBytesPerSec = 160.0e6;
+
+    /** Per-hop switch latency. */
+    sim::Tick switchLatency = sim::nsToTicks(300.0);
+
+    /** Cost of raising a host interrupt from the NIC (§6.2: 10 us). */
+    sim::Tick interruptCost = sim::usToTicks(10.0);
+
+    /**
+     * DMA cost of fetching @p entries translation entries from a
+     * host-memory UTLB page table (Table 2, "DMA cost" row).
+     */
+    sim::Tick entryFetchCost(std::size_t entries) const;
+
+    /**
+     * Total miss-handling cost for a Shared UTLB-Cache miss that
+     * fetches @p entries entries (Table 2, "total miss cost" row):
+     * directory reference + entry DMA + cache install.
+     */
+    sim::Tick missHandleCost(std::size_t entries) const;
+
+    /** Payload DMA cost for @p bytes of user data. */
+    sim::Tick payloadDmaCost(std::size_t bytes) const;
+
+    /** Wire time for @p bytes on one link. */
+    sim::Tick linkTransferCost(std::size_t bytes) const;
+};
+
+} // namespace utlb::nic
+
+#endif // UTLB_NIC_TIMING_HPP

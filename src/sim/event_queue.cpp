@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace utlb::sim {
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (when < curTick) {
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick));
+    }
+    heap.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+        // run to empty
+    }
+    return curTick;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick horizon)
+{
+    std::uint64_t count = 0;
+    while (!heap.empty() && heap.top().when <= horizon) {
+        step();
+        ++count;
+    }
+    if (curTick < horizon)
+        curTick = horizon;
+    return count;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // Copy out before pop: the callback may schedule new events.
+    Entry e = heap.top();
+    heap.pop();
+    curTick = e.when;
+    ++numFired;
+    e.fn();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap.empty())
+        heap.pop();
+}
+
+} // namespace utlb::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event simulation queue.
+ *
+ * The NIC model, network links, and the VMMC firmware loop are all
+ * driven from one EventQueue. Events with equal timestamps fire in
+ * insertion order (a stable priority queue), which keeps firmware
+ * command processing deterministic when several processes post
+ * commands in the same tick.
+ */
+
+#ifndef UTLB_SIM_EVENT_QUEUE_HPP
+#define UTLB_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace utlb::sim {
+
+/** Callback type invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A stable discrete-event queue with an integral tick clock.
+ *
+ * Usage: schedule() callbacks at absolute times or after() delays,
+ * then run() until the queue drains (or runUntil() a horizon). The
+ * current simulated time is now().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Number of events not yet fired. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** Total number of events ever fired. */
+    std::uint64_t fired() const { return numFired; }
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a logic error.
+     */
+    void schedule(Tick when, EventFn fn);
+
+    /** Schedule @p fn @p delay ticks after the current time. */
+    void after(Tick delay, EventFn fn) { schedule(curTick + delay, fn); }
+
+    /**
+     * Run events until the queue is empty.
+     * @return the time of the last fired event.
+     */
+    Tick run();
+
+    /**
+     * Run events with timestamps <= @p horizon.
+     *
+     * Advances now() to @p horizon even if the queue drains early, so
+     * repeated calls form a monotonic timeline.
+     * @return the number of events fired.
+     */
+    std::uint64_t runUntil(Tick horizon);
+
+    /** Fire exactly one event, if any. @return true if one fired. */
+    bool step();
+
+    /** Drop all pending events (does not rewind the clock). */
+    void clear();
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numFired = 0;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library; aborts so a debugger can catch
+ * it), fatal() is for user errors (bad configuration; clean exit), and
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef UTLB_SIM_LOG_HPP
+#define UTLB_SIM_LOG_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace utlb::sim {
+
+/** Verbosity levels for inform()/warn() output. */
+enum class LogLevel {
+    Quiet,   //!< suppress warn/inform
+    Normal,  //!< warn + inform
+    Debug,   //!< also debugLog
+};
+
+/** Set the global verbosity (default: Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Call when something happened that must never happen regardless of
+ * user input, i.e. a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Call when the simulation cannot continue due to a condition that is
+ * the caller's fault (bad parameters, inconsistent configuration).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level trace output (only at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_LOG_HPP

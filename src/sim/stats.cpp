@@ -1,0 +1,140 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "sim/log.hpp"
+
+namespace utlb::sim {
+
+namespace {
+
+/** Pad a stat name to a fixed column so values line up. */
+std::string
+statNameWidth(const std::string &name)
+{
+    constexpr std::size_t width = 40;
+    std::string out = name;
+    if (out.size() < width)
+        out.append(width - out.size(), ' ');
+    else
+        out.push_back(' ');
+    return out;
+}
+
+} // namespace
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << statNameWidth(name()) << val << "  # " << desc() << '\n';
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << statNameWidth(name()) << mean() << "  # " << desc()
+       << " (" << count << " samples)\n";
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     double max, std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      maxValBound(max),
+      bucketWidth(max / static_cast<double>(buckets)),
+      counts(buckets, 0),
+      minVal(std::numeric_limits<double>::infinity()),
+      maxVal(-std::numeric_limits<double>::infinity())
+{
+    if (max <= 0.0 || buckets == 0)
+        fatal("Histogram requires max > 0 and buckets > 0");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total;
+    sum += v;
+    minVal = std::min(minVal, v);
+    maxVal = std::max(maxVal, v);
+    if (v >= maxValBound || v < 0.0) {
+        ++overflow;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(v / bucketWidth);
+    if (idx >= counts.size())
+        idx = counts.size() - 1;
+    ++counts[idx];
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << statNameWidth(name()) << "hist(" << total << " samples, mean "
+       << mean() << ")  # " << desc() << '\n';
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (!counts[i])
+            continue;
+        os << "    [" << i * bucketWidth << ", " << (i + 1) * bucketWidth
+           << "): " << counts[i] << '\n';
+    }
+    if (overflow)
+        os << "    overflow: " << overflow << '\n';
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    overflow = 0;
+    total = 0;
+    sum = 0.0;
+    minVal = std::numeric_limits<double>::infinity();
+    maxVal = -std::numeric_limits<double>::infinity();
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : groupName(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---- " << groupName << " ----\n";
+    for (const auto *s : stats)
+        s->print(os);
+    for (const auto *c : children)
+        c->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : stats)
+        s->reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto *s : stats) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+} // namespace utlb::sim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Modeled loosely on gem5's stats: named scalar counters, averages,
+ * and histograms that register themselves with a StatGroup and can be
+ * dumped as text. Every simulator component that reports numbers in
+ * the paper's tables exposes them through these types so the bench
+ * harnesses can read them uniformly.
+ */
+
+#ifndef UTLB_SIM_STATS_HPP
+#define UTLB_SIM_STATS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace utlb::sim {
+
+class StatGroup;
+
+/** Base class for all named statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Render "name value # desc" lines into @p os. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A monotonically adjustable scalar counter. */
+class Counter : public StatBase
+{
+  public:
+    Counter(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t n) { val += n; return *this; }
+
+    std::uint64_t value() const { return val; }
+    void set(std::uint64_t v) { val = v; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** An accumulating mean (sum / count). */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    void sample(double v) { sum += v; ++count; }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    std::uint64_t samples() const { return count; }
+    double total() const { return sum; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { sum = 0.0; count = 0; }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, max) with uniform bucket width,
+ * plus an overflow bucket.
+ */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              double max, std::size_t buckets);
+
+    void sample(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::uint64_t overflowCount() const { return overflow; }
+    std::uint64_t samples() const { return total; }
+    double mean() const { return total ? sum / total : 0.0; }
+    double minSeen() const { return minVal; }
+    double maxSeen() const { return maxVal; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double maxValBound;
+    double bucketWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    double minVal = 0.0;
+    double maxVal = 0.0;
+};
+
+/**
+ * A group of statistics, optionally nested. Components own a
+ * StatGroup and declare their stats as members referencing it.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    /** Dump this group's stats (and children's) to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all stats in this group and children. */
+    void resetAll();
+
+    /** Locate a stat by name within this group only, or nullptr. */
+    const StatBase *find(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { stats.push_back(stat); }
+    void addChild(StatGroup *child) { children.push_back(child); }
+
+    std::string groupName;
+    std::vector<StatBase *> stats;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_STATS_HPP

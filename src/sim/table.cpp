@@ -1,0 +1,98 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace utlb::sim {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    body.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addRule()
+{
+    body.push_back(Row{{}, true});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header + all rows.
+    std::vector<std::size_t> width;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header);
+    for (const auto &row : body)
+        widen(row.cells);
+
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!tableTitle.empty()) {
+        os << tableTitle << '\n';
+        os << std::string(std::max(total, tableTitle.size()), '=') << '\n';
+    }
+    if (!header.empty()) {
+        emitRow(header);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : body) {
+        if (row.rule)
+            os << std::string(total, '-') << '\n';
+        else
+            emitRow(row.cells);
+    }
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace utlb::sim

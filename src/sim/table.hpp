@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain-text table formatter.
+ *
+ * The bench harnesses print each of the paper's tables in a uniform,
+ * aligned text layout. TextTable collects cells as strings and right-
+ * pads columns on render; it deliberately has no numeric formatting
+ * policy of its own — callers format values (so each bench controls
+ * its precision exactly as the paper prints it).
+ */
+
+#ifndef UTLB_SIM_TABLE_HPP
+#define UTLB_SIM_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace utlb::sim {
+
+/** A simple aligned text table with an optional title and header. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = {}) : tableTitle(std::move(title))
+    {}
+
+    /** Set the header row (printed with a separator rule below it). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. Rows may have differing lengths. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule between data rows. */
+    void addRule();
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return body.size(); }
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+  private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::string tableTitle;
+    std::vector<std::string> header;
+    std::vector<Row> body;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_TABLE_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks and time-unit conversions.
+ *
+ * All simulated time in this project is kept as an integer number of
+ * picoseconds. The paper's cost model is expressed in microseconds
+ * with one decimal of precision (e.g. a 0.8 us NIC cache hit), so an
+ * integer picosecond clock represents every constant exactly and keeps
+ * the simulation deterministic across platforms.
+ */
+
+#ifndef UTLB_SIM_TYPES_HPP
+#define UTLB_SIM_TYPES_HPP
+
+#include <cstdint>
+
+namespace utlb::sim {
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A signed tick delta, for cost arithmetic that may go negative. */
+using TickDelta = std::int64_t;
+
+/** Sentinel for "no scheduled time". */
+inline constexpr Tick kMaxTick = ~Tick{0};
+
+/** One nanosecond in ticks. */
+inline constexpr Tick kTicksPerNs = 1000;
+
+/** One microsecond in ticks. */
+inline constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+
+/** One millisecond in ticks. */
+inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+
+/** One second in ticks. */
+inline constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert a floating-point microsecond quantity to ticks (rounded). */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/** Convert ticks to microseconds as a double (for reporting only). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to nanoseconds as a double (for reporting only). */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_TYPES_HPP

@@ -1,0 +1,278 @@
+#include "tlbsim/simulator.hpp"
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/driver.hpp"
+#include "core/interrupt_baseline.hpp"
+#include "core/utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/log.hpp"
+
+namespace utlb::tlbsim {
+
+using mem::pageOf;
+using mem::pagesSpanned;
+using mem::ProcId;
+using mem::Vpn;
+
+namespace {
+
+/** Key for a (pid, vpn) pair. */
+std::uint64_t
+pageKey(ProcId pid, Vpn vpn)
+{
+    return (static_cast<std::uint64_t>(pid) << 40) | vpn;
+}
+
+/**
+ * Three-C miss classifier: a seen-set for compulsory misses and a
+ * fully-associative LRU shadow cache of equal total capacity for the
+ * capacity/conflict split (§6.3 cites Hill's taxonomy).
+ */
+class MissClassifier
+{
+  public:
+    explicit MissClassifier(std::size_t capacity) : cap(capacity) {}
+
+    /** Record a probe; if @p missed, classify it. */
+    void
+    probe(ProcId pid, Vpn vpn, bool missed, SimResult &res)
+    {
+        std::uint64_t key = pageKey(pid, vpn);
+        bool first = seen.insert(key).second;
+        bool shadow_hit = touch(key);
+        if (!missed)
+            return;
+        if (first)
+            ++res.compulsoryMisses;
+        else if (!shadow_hit)
+            ++res.capacityMisses;
+        else
+            ++res.conflictMisses;
+    }
+
+  private:
+    /** LRU-touch @p key in the shadow. @return prior residency. */
+    bool
+    touch(std::uint64_t key)
+    {
+        auto it = index.find(key);
+        if (it != index.end()) {
+            order.splice(order.end(), order, it->second);
+            return true;
+        }
+        order.push_back(key);
+        index.emplace(key, std::prev(order.end()));
+        if (index.size() > cap) {
+            index.erase(order.front());
+            order.pop_front();
+        }
+        return false;
+    }
+
+    std::size_t cap;
+    std::unordered_set<std::uint64_t> seen;
+    std::list<std::uint64_t> order;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        index;
+};
+
+/** Frames needed to replay a trace without running out of DRAM. */
+std::size_t
+framesFor(const trace::Trace &trace)
+{
+    trace::TraceShape shape = trace::measure(trace);
+    // Data pages — including pages only sequential pre-pinning ever
+    // touches: with FFT's stride-8 layout, pre-pin waste can reach
+    // ~8x the communicated footprint — plus page-table leaves, the
+    // garbage page, and slack.
+    return shape.distinctPages * 10 + 2048;
+}
+
+} // namespace
+
+SimResult
+simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
+{
+    SimResult res;
+    if (trace.empty())
+        return res;
+
+    mem::PhysMemory phys_mem(framesFor(trace));
+    mem::PinFacility pins;
+    nic::Sram sram(4u << 20);  // generous: sweeps go up to 16 K entries
+    nic::NicTimings timings;
+    core::HostCosts costs(cfg.hostProfile);
+    core::SharedUtlbCache cache(cfg.cache, timings, &sram);
+    core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+
+    struct Proc {
+        std::unique_ptr<mem::AddressSpace> space;
+        std::unique_ptr<core::UserUtlb> utlb;
+    };
+    std::unordered_map<ProcId, Proc> procs;
+
+    auto get_utlb = [&](ProcId pid) -> core::UserUtlb & {
+        auto it = procs.find(pid);
+        if (it == procs.end()) {
+            Proc p;
+            p.space =
+                std::make_unique<mem::AddressSpace>(pid, phys_mem);
+            driver.registerProcess(*p.space);
+            core::UtlbConfig ucfg;
+            ucfg.prefetchEntries = cfg.prefetchEntries;
+            ucfg.pin.memLimitPages = cfg.memLimitPages;
+            ucfg.pin.policy = cfg.policy;
+            ucfg.pin.prepinPages = cfg.prepinPages;
+            ucfg.pin.seed = cfg.seed + pid;
+            p.utlb = std::make_unique<core::UserUtlb>(
+                driver, cache, timings, pid, ucfg);
+            it = procs.emplace(pid, std::move(p)).first;
+        }
+        return *it->second.utlb;
+    };
+
+    MissClassifier classifier(cfg.cache.entries);
+
+    std::size_t seen = 0;
+    for (const auto &rec : trace) {
+        core::UserUtlb &utlb = get_utlb(rec.pid);
+        std::size_t npages = pagesSpanned(rec.va, rec.nbytes);
+        if (npages == 0)
+            continue;
+        bool warm = seen++ >= cfg.warmupLookups;
+        if (warm)
+            ++res.lookups;
+
+        core::EnsureResult host = utlb.prepare(rec.va, rec.nbytes);
+        if (warm) {
+            // Per-lookup host time uses the §6.2 cost equation: the
+            // flat 0.5 us user-level charge (which subsumes the
+            // bitmap scan) plus the measured pin/unpin ioctl costs.
+            res.hostTime += costs.userCheck() + host.pinCost
+                + host.unpinCost;
+            res.pinTime += host.pinCost;
+            res.unpinTime += host.unpinCost;
+            if (host.checkMiss)
+                ++res.checkMissLookups;
+            res.pagesPinned += host.pagesPinned;
+            res.pagesUnpinned += host.pagesUnpinned;
+            res.pinIoctls += host.pinIoctls;
+        }
+        if (!host.ok) {
+            sim::warn("UTLB sim: pin failed for pid %u va %llx",
+                      rec.pid,
+                      static_cast<unsigned long long>(rec.va));
+            continue;
+        }
+
+        bool any_miss = false;
+        Vpn start = pageOf(rec.va);
+        for (std::size_t i = 0; i < npages; ++i) {
+            // Classification must see the probe outcome before the
+            // lookup's side effects, so peek first.
+            bool would_hit =
+                cache.peek(rec.pid, start + i).has_value();
+            if (warm)
+                classifier.probe(rec.pid, start + i, !would_hit, res);
+
+            core::NicLookup nl = utlb.nicTranslate(start + i);
+            if (warm) {
+                ++res.probes;
+                res.nicTime += nl.cost;
+                if (nl.miss) {
+                    ++res.niMissProbes;
+                    any_miss = true;
+                }
+            }
+        }
+        if (warm && any_miss)
+            ++res.niMissLookups;
+    }
+    return res;
+}
+
+SimResult
+simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
+{
+    SimResult res;
+    if (trace.empty())
+        return res;
+
+    mem::PhysMemory phys_mem(framesFor(trace));
+    mem::PinFacility pins;
+    nic::NicTimings timings;
+    core::HostCosts costs(cfg.hostProfile);
+    core::SharedUtlbCache cache(cfg.cache, timings);
+    core::InterruptTlb intr(pins, cache, costs, timings);
+
+    std::unordered_map<ProcId, std::unique_ptr<mem::AddressSpace>>
+        spaces;
+    auto ensure_proc = [&](ProcId pid) {
+        if (spaces.count(pid))
+            return;
+        auto space =
+            std::make_unique<mem::AddressSpace>(pid, phys_mem);
+        pins.registerSpace(*space);
+        if (cfg.memLimitPages != 0)
+            pins.setPinLimit(pid, cfg.memLimitPages);
+        spaces.emplace(pid, std::move(space));
+    };
+
+    MissClassifier classifier(cfg.cache.entries);
+
+    std::size_t seen = 0;
+    for (const auto &rec : trace) {
+        ensure_proc(rec.pid);
+        std::size_t npages = pagesSpanned(rec.va, rec.nbytes);
+        if (npages == 0)
+            continue;
+        bool warm = seen++ >= cfg.warmupLookups;
+        if (warm)
+            ++res.lookups;
+
+        bool any_miss = false;
+        Vpn start = pageOf(rec.va);
+        for (std::size_t i = 0; i < npages; ++i) {
+            bool would_hit =
+                cache.peek(rec.pid, start + i).has_value();
+            if (warm)
+                classifier.probe(rec.pid, start + i, !would_hit, res);
+
+            core::IntrLookup lk = intr.translate(rec.pid, start + i);
+            if (warm) {
+                ++res.probes;
+                res.nicTime += lk.cost;
+                if (lk.miss) {
+                    ++res.niMissProbes;
+                    any_miss = true;
+                    ++res.interrupts;
+                    ++res.pagesPinned;
+                    res.pinTime += costs.kernelPinCost();
+                }
+                res.pagesUnpinned += lk.unpins;
+                res.unpinTime += static_cast<sim::Tick>(lk.unpins)
+                    * costs.kernelUnpinCost();
+            }
+            if (lk.failed) {
+                sim::warn("Intr sim: pin failed for pid %u page "
+                          "%llu", rec.pid,
+                          static_cast<unsigned long long>(start + i));
+            }
+        }
+        if (warm && any_miss)
+            ++res.niMissLookups;
+    }
+    return res;
+}
+
+} // namespace utlb::tlbsim

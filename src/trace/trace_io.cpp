@@ -1,0 +1,69 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace utlb::trace {
+
+namespace {
+
+constexpr const char *kMagic = "# utlb-trace v1";
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    os << kMagic << '\n';
+    for (const auto &rec : trace) {
+        os << rec.seq << ' ' << rec.pid << ' '
+           << (rec.op == TraceOp::Send ? 'S' : 'F') << ' ' << std::hex
+           << rec.va << std::dec << ' ' << rec.nbytes << '\n';
+    }
+}
+
+std::optional<Trace>
+readTrace(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        return std::nullopt;
+
+    Trace trace;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceRecord rec;
+        char op = 0;
+        ls >> rec.seq >> rec.pid >> op >> std::hex >> rec.va
+           >> std::dec >> rec.nbytes;
+        if (!ls || (op != 'S' && op != 'F'))
+            return std::nullopt;
+        rec.op = (op == 'S') ? TraceOp::Send : TraceOp::Fetch;
+        trace.push_back(rec);
+    }
+    return trace;
+}
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeTrace(trace, f);
+    return static_cast<bool>(f);
+}
+
+std::optional<Trace>
+loadTrace(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        return std::nullopt;
+    return readTrace(f);
+}
+
+} // namespace utlb::trace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * A simple line-oriented text format so traces can be saved,
+ * inspected, diffed, and replayed by the trace_analysis example:
+ *
+ *     # utlb-trace v1
+ *     <seq> <pid> <S|F> <va-hex> <nbytes>
+ */
+
+#ifndef UTLB_TRACE_TRACE_IO_HPP
+#define UTLB_TRACE_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace utlb::trace {
+
+/** Serialize @p trace to @p os. */
+void writeTrace(const Trace &trace, std::ostream &os);
+
+/**
+ * Parse a trace from @p is.
+ * @return nullopt on malformed input.
+ */
+std::optional<Trace> readTrace(std::istream &is);
+
+/** Write a trace to a file. @return false on I/O failure. */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/** Read a trace from a file. */
+std::optional<Trace> loadTrace(const std::string &path);
+
+} // namespace utlb::trace
+
+#endif // UTLB_TRACE_TRACE_IO_HPP

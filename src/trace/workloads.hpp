@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synthetic SPLASH-2 communication workloads (§6.1, Table 3).
+ *
+ * The paper drives its simulator with traces captured from seven
+ * SPLASH-2 applications running under a home-based release-
+ * consistency SVM protocol on a 4-node cluster of 4-way SMPs — four
+ * application processes and one protocol process per node, all
+ * sharing the NIC. Those traces are not available, so each workload
+ * here is a generator that reproduces, by construction:
+ *
+ *  - the per-node communication footprint and translation-lookup
+ *    count of Table 3 (within a few percent), and
+ *  - the qualitative access pattern §6.1 describes: FFT's strided
+ *    transpose phases, LU's blocked touch-twice sweeps, Barnes'
+ *    repeated spatially-local partition sweeps, Radix's phased
+ *    contiguous key ranges, Raytrace/Volrend's task-queue
+ *    irregularity, and Water's small-footprint spatial reuse.
+ *
+ * Five process streams (pids 0-3 application, pid 4 protocol) are
+ * fair-interleaved into one serialized node trace, mirroring the
+ * paper's timestamp-serialized multiprogrammed stream.
+ */
+
+#ifndef UTLB_TRACE_WORKLOADS_HPP
+#define UTLB_TRACE_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace utlb::trace {
+
+/** Number of application processes per node. */
+inline constexpr std::size_t kAppProcs = 4;
+
+/** Pid of the SVM protocol process. */
+inline constexpr mem::ProcId kProtocolPid = 4;
+
+/** Static description of one workload (Table 3 row). */
+struct WorkloadInfo {
+    std::string name;          //!< lower-case id ("fft", ...)
+    std::string problemSize;   //!< Table 3 "Problem Size"
+    std::size_t footprintPages; //!< Table 3 footprint (4 KB pages)
+    std::size_t lookups;        //!< Table 3 "# translation lookups"
+};
+
+/** The seven SPLASH-2 workloads, in the paper's order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Look up a workload by name; fatal on unknown names. */
+const WorkloadInfo &workloadByName(const std::string &name);
+
+/**
+ * Generate one node's trace for @p name.
+ *
+ * @param seed perturbs the irregular (task-queue) generators and the
+ *             interleaving; regular apps are seed-independent apart
+ *             from interleave jitter.
+ */
+Trace generateTrace(const std::string &name, std::uint64_t seed = 1);
+
+/** Parameters for the synthetic micro-workloads. */
+struct SyntheticSpec {
+    std::size_t processes = 4;   //!< interleaved process streams
+    std::size_t pages = 1024;    //!< footprint per process
+    std::size_t lookups = 8192;  //!< operations per process
+    double hotFraction = 0.9;    //!< for "hotcold": hot-access share
+    std::size_t hotPages = 32;   //!< for "hotcold": hot-set size
+};
+
+/**
+ * Generate a synthetic micro-workload trace (not part of Table 3):
+ *
+ *  - "uniform": independent uniform page accesses — the
+ *    worst case for any translation cache;
+ *  - "stream": a pure sequential sweep, never revisiting — all
+ *    compulsory misses, the best case for prefetching;
+ *  - "hotcold": a hot set absorbing most accesses over a cold
+ *    expanse — the best case for LRU/LFU pinning policies.
+ */
+Trace generateSynthetic(const std::string &kind,
+                        const SyntheticSpec &spec,
+                        std::uint64_t seed = 1);
+
+} // namespace utlb::trace
+
+#endif // UTLB_TRACE_WORKLOADS_HPP

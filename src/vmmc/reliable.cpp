@@ -1,0 +1,140 @@
+#include "vmmc/reliable.hpp"
+
+#include "sim/log.hpp"
+
+namespace utlb::vmmc {
+
+using net::NodeId;
+using net::Packet;
+using net::PacketType;
+
+ReliableEndpoint::ReliableEndpoint(NodeId self, net::Network &network,
+                                   sim::EventQueue &event_queue,
+                                   sim::Tick retry_timeout)
+    : selfId(self), net(&network), events(&event_queue),
+      timeout(retry_timeout)
+{
+}
+
+void
+ReliableEndpoint::sendReliable(Packet pkt)
+{
+    if (pkt.hdr.type == PacketType::Ack)
+        sim::panic("acks are sent by the protocol, not callers");
+    NodeId peer = pkt.hdr.dst;
+    SenderChannel &ch = senders[peer];
+    pkt.hdr.src = selfId;
+    pkt.hdr.seq = ch.nextSeq++;
+    ch.inflight.push_back(pkt);
+    net->send(std::move(pkt));
+    armTimer(peer);
+}
+
+void
+ReliableEndpoint::armTimer(NodeId peer)
+{
+    SenderChannel &ch = senders[peer];
+    if (ch.timerArmed || ch.inflight.empty())
+        return;
+    ch.timerArmed = true;
+    events->after(timeout, [this, peer] { onTimeout(peer); });
+}
+
+void
+ReliableEndpoint::onTimeout(NodeId peer)
+{
+    SenderChannel &ch = senders[peer];
+    ch.timerArmed = false;
+    if (ch.inflight.empty())
+        return;
+    ++numTimeouts;
+    // Go-back-N: retransmit the whole window.
+    for (const Packet &pkt : ch.inflight) {
+        ++numRetransmits;
+        net->send(pkt);
+    }
+    armTimer(peer);
+}
+
+void
+ReliableEndpoint::sendAck(NodeId peer, std::uint32_t cumulative)
+{
+    Packet ack;
+    ack.hdr.type = PacketType::Ack;
+    ack.hdr.src = selfId;
+    ack.hdr.dst = peer;
+    ack.hdr.ackSeq = cumulative;
+    ++numAcks;
+    net->send(std::move(ack));
+}
+
+std::optional<Packet>
+ReliableEndpoint::onPacket(const Packet &pkt)
+{
+    if (pkt.hdr.dst != selfId)
+        sim::panic("packet for node %u arrived at node %u",
+                   pkt.hdr.dst, selfId);
+
+    if (pkt.hdr.type == PacketType::Ack) {
+        SenderChannel &ch = senders[pkt.hdr.src];
+        // Cumulative: everything up to and including ackSeq is
+        // delivered. Guard against stale acks from retransmits.
+        while (!ch.inflight.empty()
+               && ch.baseSeq <= pkt.hdr.ackSeq) {
+            ch.inflight.pop_front();
+            ++ch.baseSeq;
+        }
+        return std::nullopt;
+    }
+
+    ReceiverChannel &ch = receivers[pkt.hdr.src];
+    if (pkt.hdr.seq == ch.expectedSeq) {
+        ++ch.expectedSeq;
+        sendAck(pkt.hdr.src, pkt.hdr.seq);
+        return pkt;
+    }
+    if (pkt.hdr.seq < ch.expectedSeq) {
+        // Duplicate of something already delivered; re-ack so the
+        // sender can advance if our ack was lost.
+        ++numDuplicates;
+        sendAck(pkt.hdr.src, ch.expectedSeq - 1);
+        return std::nullopt;
+    }
+    // Out of order (a predecessor was dropped): go-back-N discards.
+    ++numOutOfOrder;
+    if (ch.expectedSeq > 0)
+        sendAck(pkt.hdr.src, ch.expectedSeq - 1);
+    return std::nullopt;
+}
+
+void
+ReliableEndpoint::remapPeer(NodeId old_peer, NodeId new_peer)
+{
+    auto it = senders.find(old_peer);
+    if (it == senders.end())
+        return;
+    ++numRemaps;
+    std::deque<Packet> pending = std::move(it->second.inflight);
+    senders.erase(it);
+    // Re-issue the window to the new peer as fresh traffic; its
+    // receiver channel starts from its own expected sequence.
+    SenderChannel &ch = senders[new_peer];
+    for (Packet &pkt : pending) {
+        pkt.hdr.dst = new_peer;
+        pkt.hdr.seq = ch.nextSeq++;
+        ch.inflight.push_back(pkt);
+        net->send(ch.inflight.back());
+    }
+    armTimer(new_peer);
+}
+
+std::size_t
+ReliableEndpoint::unackedPackets() const
+{
+    std::size_t total = 0;
+    for (const auto &[peer, ch] : senders)
+        total += ch.inflight.size();
+    return total;
+}
+
+} // namespace utlb::vmmc

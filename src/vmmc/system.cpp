@@ -1,0 +1,18 @@
+#include "vmmc/system.hpp"
+
+namespace utlb::vmmc {
+
+Cluster::Cluster(const ClusterConfig &cfg)
+    : net(events, nicTimings,
+          net::NetworkConfig{cfg.nodes, cfg.lossProbability, true,
+                             cfg.seed})
+{
+    nodeList.reserve(cfg.nodes);
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+        nodeList.push_back(std::make_unique<VmmcNode>(
+            static_cast<net::NodeId>(i), net, events, nicTimings,
+            cfg.node));
+    }
+}
+
+} // namespace utlb::vmmc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A whole simulated cluster: event queue, network, and nodes.
+ *
+ * Convenience wrapper that wires VmmcNodes onto one Network and one
+ * EventQueue, mirroring the paper's testbed (a Myrinet switch with
+ * PC nodes hanging off it).
+ */
+
+#ifndef UTLB_VMMC_SYSTEM_HPP
+#define UTLB_VMMC_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "nic/timing.hpp"
+#include "sim/event_queue.hpp"
+#include "vmmc/node.hpp"
+
+namespace utlb::vmmc {
+
+/** Cluster-level configuration. */
+struct ClusterConfig {
+    std::size_t nodes = 2;
+    NodeConfig node{};
+    double lossProbability = 0.0;
+    std::uint64_t seed = 0xfeedface;
+};
+
+/** A simulated VMMC cluster. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &cfg = {});
+
+    std::size_t size() const { return nodeList.size(); }
+    VmmcNode &node(net::NodeId id) { return *nodeList.at(id); }
+    sim::EventQueue &clock() { return events; }
+    net::Network &network() { return net; }
+    const nic::NicTimings &timings() const { return nicTimings; }
+
+    /** Run the event queue until it drains. @return final time. */
+    sim::Tick run() { return events.run(); }
+
+    /** Run events up to @p horizon ticks. */
+    void runFor(sim::Tick horizon)
+    {
+        events.runUntil(events.now() + horizon);
+    }
+
+  private:
+    sim::EventQueue events;
+    nic::NicTimings nicTimings;
+    net::Network net;
+    std::vector<std::unique_ptr<VmmcNode>> nodeList;
+};
+
+} // namespace utlb::vmmc
+
+#endif // UTLB_VMMC_SYSTEM_HPP

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Failure-injection tests: link outages, port failover via dynamic
+ * node remapping (§4.1), pathological loss patterns, and resource
+ * exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "vmmc/system.hpp"
+
+namespace {
+
+using namespace utlb::vmmc;
+using utlb::mem::addrOf;
+using utlb::mem::kPageSize;
+using utlb::mem::VirtAddr;
+using utlb::sim::usToTicks;
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 13);
+    return v;
+}
+
+TEST(LinkFailure, OutageDelaysButDoesNotLoseData)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(20), 8 * kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+
+    auto data = pattern(8 * kPageSize, 42);
+    a.space(1).writeBytes(addrOf(100), data);
+
+    // Fail the receiver's link before the fragments hit the wire.
+    cluster.network().setNodeDown(1, true);
+    ASSERT_TRUE(a.send(1, addrOf(100), data.size(), slot, 0));
+
+    // Let the system grind through several retransmission timeouts
+    // with the link down: nothing arrives.
+    cluster.runFor(usToTicks(3000.0));
+    EXPECT_EQ(b.bytesDeposited(), 0u);
+    EXPECT_GT(a.reliable().timeouts(), 0u);
+    EXPECT_GT(a.reliable().unackedPackets(), 0u);
+
+    // Restore the link: retransmission completes the transfer.
+    cluster.network().setNodeDown(1, false);
+    cluster.run();
+
+    std::vector<std::uint8_t> got(data.size());
+    b.space(2).readBytes(addrOf(20), got);
+    EXPECT_EQ(got, data);
+    EXPECT_EQ(a.reliable().unackedPackets(), 0u);
+}
+
+TEST(LinkFailure, SenderSideOutageAlsoRecovers)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(20), 2 * kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+    auto data = pattern(2 * kPageSize, 3);
+    a.space(1).writeBytes(addrOf(100), data);
+
+    cluster.network().setNodeDown(0, true);
+    a.send(1, addrOf(100), data.size(), slot, 0);
+    cluster.runFor(usToTicks(2000.0));
+    EXPECT_EQ(b.bytesDeposited(), 0u);
+    cluster.network().setNodeDown(0, false);
+    cluster.run();
+    std::vector<std::uint8_t> got(data.size());
+    b.space(2).readBytes(addrOf(20), got);
+    EXPECT_EQ(got, data);
+}
+
+TEST(NodeRemap, FailoverToHotStandbyCompletesTransfer)
+{
+    // Three nodes: 0 sends to 1; node 2 is a hot standby holding an
+    // equivalent export. Node 1 dies mid-transfer; the sender remaps
+    // its imports to node 2 and the transfer completes there.
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    Cluster cluster(cfg);
+    auto &sender = cluster.node(0);
+    auto &primary = cluster.node(1);
+    auto &standby = cluster.node(2);
+    sender.createProcess(1);
+    primary.createProcess(2);
+    standby.createProcess(2);
+
+    auto exp_primary = primary.exportBuffer(2, addrOf(20),
+                                            8 * kPageSize);
+    auto exp_standby = standby.exportBuffer(2, addrOf(20),
+                                            8 * kPageSize);
+    ASSERT_EQ(*exp_primary, *exp_standby);  // equivalent state
+
+    auto slot = sender.importBuffer(1, 1, *exp_primary);
+    auto data = pattern(8 * kPageSize, 91);
+    sender.space(1).writeBytes(addrOf(100), data);
+
+    cluster.network().setNodeDown(1, true);  // primary dies
+    ASSERT_TRUE(sender.send(1, addrOf(100), data.size(), slot, 0));
+    cluster.runFor(usToTicks(2000.0));
+    EXPECT_EQ(primary.bytesDeposited(), 0u);
+
+    // Dynamic node remapping (§4.1).
+    EXPECT_EQ(sender.remapImports(1, 1, 2), 1u);
+    EXPECT_EQ(sender.reliable().remaps(), 1u);
+    cluster.run();
+
+    std::vector<std::uint8_t> got(data.size());
+    standby.space(2).readBytes(addrOf(20), got);
+    EXPECT_EQ(got, data);
+    EXPECT_EQ(standby.transfersCompleted(), 1u);
+}
+
+TEST(NodeRemap, RemapWithNoMatchingImportsIsANoop)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    Cluster cluster(cfg);
+    cluster.node(0).createProcess(1);
+    EXPECT_EQ(cluster.node(0).remapImports(1, 1, 2), 0u);
+    EXPECT_EQ(cluster.node(0).reliable().remaps(), 0u);
+}
+
+TEST(LossPatterns, AckOnlyLossStillCompletes)
+{
+    // dropAcks=true with high loss also drops acks; the sender
+    // retransmits delivered-but-unacked packets and the receiver's
+    // duplicate filter re-acks them.
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.lossProbability = 0.35;
+    cfg.seed = 2024;
+    Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(20), 16 * kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+    auto data = pattern(16 * kPageSize, 7);
+    a.space(1).writeBytes(addrOf(100), data);
+    ASSERT_TRUE(a.send(1, addrOf(100), data.size(), slot, 0));
+    cluster.run();
+    std::vector<std::uint8_t> got(data.size());
+    b.space(2).readBytes(addrOf(20), got);
+    EXPECT_EQ(got, data);
+    EXPECT_GT(b.reliable().duplicatesDropped()
+                  + b.reliable().outOfOrderDropped(), 0u);
+    // Exactly-once deposit despite retransmissions.
+    EXPECT_EQ(b.bytesDeposited(), data.size());
+}
+
+TEST(LossPatterns, ManySmallTransfersUnderLossAllComplete)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.lossProbability = 0.25;
+    cfg.seed = 555;
+    Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(20), 32 * kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+
+    for (int i = 0; i < 32; ++i) {
+        auto data = pattern(512, static_cast<std::uint8_t>(i));
+        a.space(1).writeBytes(addrOf(200 + i), data);
+        ASSERT_TRUE(a.send(1, addrOf(200 + i), 512, slot,
+                           static_cast<std::uint64_t>(i) * kPageSize));
+        cluster.run();
+    }
+    for (int i = 0; i < 32; ++i) {
+        std::vector<std::uint8_t> got(512);
+        b.space(2).readBytes(
+            addrOf(20) + static_cast<std::uint64_t>(i) * kPageSize,
+            got);
+        EXPECT_EQ(got, pattern(512, static_cast<std::uint8_t>(i)))
+            << i;
+    }
+}
+
+TEST(Exhaustion, CommandRingBackpressureIsVisible)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.commandSlots = 2;
+    Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(20), 16 * kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+
+    a.space(1).writeBytes(addrOf(100), pattern(64, 1));
+    int accepted = 0;
+    for (int i = 0; i < 6; ++i) {
+        if (a.send(1, addrOf(100), 64, slot, 0))
+            ++accepted;
+    }
+    // Only the ring capacity is accepted without draining events.
+    EXPECT_EQ(accepted, 2);
+    cluster.run();
+    // After draining, sends are accepted again.
+    EXPECT_TRUE(a.send(1, addrOf(100), 64, slot, 0));
+    cluster.run();
+    EXPECT_EQ(b.transfersCompleted(),
+              static_cast<std::uint64_t>(accepted + 1));
+}
+
+TEST(Exhaustion, SendToUnpinnableBufferFailsCleanly)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.node.memoryFrames = 64;  // tiny host DRAM
+    Cluster cluster(cfg);
+    auto &a = cluster.node(0);
+    auto &b = cluster.node(1);
+    a.createProcess(1);
+    b.createProcess(2);
+    auto exp = b.exportBuffer(2, addrOf(20), kPageSize);
+    auto slot = a.importBuffer(1, 1, *exp);
+    // A 100-page buffer cannot be pinned in a 64-frame machine;
+    // send must refuse, not crash.
+    EXPECT_FALSE(a.send(1, addrOf(100), 100 * kPageSize, slot, 0));
+    // Small sends still work afterwards.
+    a.space(1).writeBytes(addrOf(100), pattern(64, 1));
+    EXPECT_TRUE(a.send(1, addrOf(100), 64, slot, 0));
+    cluster.run();
+    EXPECT_EQ(b.transfersCompleted(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for the host memory substrate: physical memory,
+ * address spaces, and the pinning facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "mem/address_space.hpp"
+#include "mem/page.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+
+namespace {
+
+using namespace utlb::mem;
+
+TEST(Page, Helpers)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(pageOf(0x12345), 0x12u);
+    EXPECT_EQ(offsetOf(0x12345), 0x345u);
+    EXPECT_EQ(addrOf(3), 3u * 4096u);
+    EXPECT_EQ(frameAddr(2), 8192u);
+}
+
+TEST(Page, PagesSpanned)
+{
+    EXPECT_EQ(pagesSpanned(0, 0), 0u);
+    EXPECT_EQ(pagesSpanned(0, 1), 1u);
+    EXPECT_EQ(pagesSpanned(0, 4096), 1u);
+    EXPECT_EQ(pagesSpanned(0, 4097), 2u);
+    EXPECT_EQ(pagesSpanned(4095, 2), 2u);
+    EXPECT_EQ(pagesSpanned(4096, 4096), 1u);
+    EXPECT_EQ(pagesSpanned(100, 3 * 4096), 4u);
+}
+
+TEST(PhysMemory, AllocatesLowestFrameFirst)
+{
+    PhysMemory pm(4);
+    EXPECT_EQ(*pm.allocFrame(1), 0u);
+    EXPECT_EQ(*pm.allocFrame(1), 1u);
+    EXPECT_EQ(*pm.allocFrame(2), 2u);
+    EXPECT_EQ(pm.allocatedFrames(), 3u);
+    EXPECT_EQ(pm.freeFrames(), 1u);
+}
+
+TEST(PhysMemory, TracksOwners)
+{
+    PhysMemory pm(2);
+    auto f = *pm.allocFrame(7);
+    EXPECT_EQ(pm.ownerOf(f), 7u);
+    EXPECT_TRUE(pm.isAllocated(f));
+    pm.freeFrame(f);
+    EXPECT_EQ(pm.ownerOf(f), kNoOwner);
+    EXPECT_FALSE(pm.isAllocated(f));
+}
+
+TEST(PhysMemory, ExhaustionReturnsNullopt)
+{
+    PhysMemory pm(1);
+    EXPECT_TRUE(pm.allocFrame(1).has_value());
+    EXPECT_FALSE(pm.allocFrame(1).has_value());
+}
+
+TEST(PhysMemory, FreedFramesAreReused)
+{
+    PhysMemory pm(1);
+    auto f = *pm.allocFrame(1);
+    pm.freeFrame(f);
+    EXPECT_EQ(*pm.allocFrame(2), f);
+}
+
+TEST(PhysMemory, ReadWriteRoundTrips)
+{
+    PhysMemory pm(2);
+    auto f = *pm.allocFrame(1);
+    std::array<std::uint8_t, 8> in{1, 2, 3, 4, 5, 6, 7, 8};
+    pm.write(frameAddr(f) + 100, in);
+    std::array<std::uint8_t, 8> out{};
+    pm.read(frameAddr(f) + 100, out);
+    EXPECT_EQ(in, out);
+}
+
+TEST(PhysMemory, ZeroFrameClears)
+{
+    PhysMemory pm(1);
+    auto f = *pm.allocFrame(1);
+    std::array<std::uint8_t, 4> in{9, 9, 9, 9};
+    pm.write(frameAddr(f), in);
+    pm.zeroFrame(f);
+    std::array<std::uint8_t, 4> out{1, 1, 1, 1};
+    pm.read(frameAddr(f), out);
+    EXPECT_EQ(out, (std::array<std::uint8_t, 4>{0, 0, 0, 0}));
+}
+
+TEST(AddressSpace, DemandMapsOnTouch)
+{
+    PhysMemory pm(4);
+    AddressSpace as(1, pm);
+    EXPECT_FALSE(as.lookup(5).has_value());
+    auto f = as.touch(5);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(as.lookup(5), f);
+    EXPECT_EQ(as.mappedPages(), 1u);
+    // Touch again: same frame, no new allocation.
+    EXPECT_EQ(as.touch(5), f);
+    EXPECT_EQ(pm.allocatedFrames(), 1u);
+}
+
+TEST(AddressSpace, TranslateComposesFrameAndOffset)
+{
+    PhysMemory pm(4);
+    AddressSpace as(1, pm);
+    auto pa = as.translate(addrOf(3) + 123);
+    ASSERT_TRUE(pa.has_value());
+    auto f = *as.lookup(3);
+    EXPECT_EQ(*pa, frameAddr(f) + 123);
+}
+
+TEST(AddressSpace, UnmapFreesFrame)
+{
+    PhysMemory pm(1);
+    AddressSpace as(1, pm);
+    as.touch(0);
+    EXPECT_EQ(pm.allocatedFrames(), 1u);
+    as.unmap(0);
+    EXPECT_EQ(pm.allocatedFrames(), 0u);
+    EXPECT_FALSE(as.lookup(0).has_value());
+}
+
+TEST(AddressSpace, DestructorReleasesEverything)
+{
+    PhysMemory pm(8);
+    {
+        AddressSpace as(1, pm);
+        for (Vpn v = 0; v < 5; ++v)
+            as.touch(v);
+        EXPECT_EQ(pm.allocatedFrames(), 5u);
+    }
+    EXPECT_EQ(pm.allocatedFrames(), 0u);
+}
+
+TEST(AddressSpace, ByteAccessStraddlesPages)
+{
+    PhysMemory pm(8);
+    AddressSpace as(1, pm);
+    std::vector<std::uint8_t> in(3 * kPageSize);
+    std::iota(in.begin(), in.end(), 0);
+    VirtAddr va = addrOf(10) + 1000;  // straddles pages 10..13
+    as.writeBytes(va, in);
+    std::vector<std::uint8_t> out(in.size());
+    as.readBytes(va, out);
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(as.mappedPages(), 4u);
+}
+
+TEST(AddressSpace, SpacesAreIsolated)
+{
+    PhysMemory pm(4);
+    AddressSpace a(1, pm), b(2, pm);
+    std::array<std::uint8_t, 4> ain{1, 1, 1, 1}, bin{2, 2, 2, 2};
+    a.writeBytes(0, ain);
+    b.writeBytes(0, bin);
+    std::array<std::uint8_t, 4> out{};
+    a.readBytes(0, out);
+    EXPECT_EQ(out, ain);
+    b.readBytes(0, out);
+    EXPECT_EQ(out, bin);
+    EXPECT_NE(*a.lookup(0), *b.lookup(0));
+}
+
+class PinFacilityTest : public ::testing::Test
+{
+  protected:
+    PinFacilityTest() : pm(64), as(1, pm)
+    {
+        pf.registerSpace(as);
+    }
+
+    PhysMemory pm;
+    AddressSpace as;
+    PinFacility pf;
+};
+
+TEST_F(PinFacilityTest, PinDemandMapsAndReturnsFrame)
+{
+    auto f = pf.pinPage(1, 10);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(as.lookup(10), f);
+    EXPECT_TRUE(pf.isPinned(1, 10));
+    EXPECT_EQ(pf.pinnedPages(1), 1u);
+}
+
+TEST_F(PinFacilityTest, PinsAreRefcounted)
+{
+    pf.pinPage(1, 3);
+    pf.pinPage(1, 3);
+    EXPECT_EQ(pf.pinRefs(1, 3), 2u);
+    EXPECT_EQ(pf.pinnedPages(1), 1u);
+    EXPECT_EQ(pf.unpinPage(1, 3), PinStatus::Ok);
+    EXPECT_TRUE(pf.isPinned(1, 3));
+    EXPECT_EQ(pf.unpinPage(1, 3), PinStatus::Ok);
+    EXPECT_FALSE(pf.isPinned(1, 3));
+}
+
+TEST_F(PinFacilityTest, UnpinOfUnpinnedReportsNotPinned)
+{
+    EXPECT_EQ(pf.unpinPage(1, 99), PinStatus::NotPinned);
+}
+
+TEST_F(PinFacilityTest, UnknownProcessRejected)
+{
+    PinStatus st;
+    EXPECT_FALSE(pf.pinPage(42, 0, &st).has_value());
+    EXPECT_EQ(st, PinStatus::UnknownProcess);
+}
+
+TEST_F(PinFacilityTest, LimitCountsDistinctPages)
+{
+    pf.setPinLimit(1, 2);
+    EXPECT_TRUE(pf.pinPage(1, 0).has_value());
+    EXPECT_TRUE(pf.pinPage(1, 1).has_value());
+    PinStatus st;
+    EXPECT_FALSE(pf.pinPage(1, 2, &st).has_value());
+    EXPECT_EQ(st, PinStatus::LimitExceeded);
+    // Re-pinning an already-pinned page is not limited.
+    EXPECT_TRUE(pf.pinPage(1, 0).has_value());
+    // Unpinning frees budget.
+    pf.unpinPage(1, 0);
+    pf.unpinPage(1, 0);
+    EXPECT_TRUE(pf.pinPage(1, 2).has_value());
+}
+
+TEST_F(PinFacilityTest, PinRangeIsAllOrNothing)
+{
+    pf.setPinLimit(1, 3);
+    PinStatus st;
+    auto frames = pf.pinRange(1, 0, 5, &st);
+    EXPECT_FALSE(frames.has_value());
+    EXPECT_EQ(st, PinStatus::LimitExceeded);
+    EXPECT_EQ(pf.pinnedPages(1), 0u);  // rollback happened
+
+    frames = pf.pinRange(1, 0, 3, &st);
+    ASSERT_TRUE(frames.has_value());
+    EXPECT_EQ(frames->size(), 3u);
+    EXPECT_EQ(pf.pinnedPages(1), 3u);
+}
+
+TEST_F(PinFacilityTest, OutOfMemorySurfaces)
+{
+    PhysMemory tiny(1);
+    AddressSpace space(9, tiny);
+    PinFacility facility;
+    facility.registerSpace(space);
+    EXPECT_TRUE(facility.pinPage(9, 0).has_value());
+    PinStatus st;
+    EXPECT_FALSE(facility.pinPage(9, 1, &st).has_value());
+    EXPECT_EQ(st, PinStatus::OutOfMemory);
+}
+
+TEST_F(PinFacilityTest, PinnedFrameIsStableAcrossOtherActivity)
+{
+    auto f = *pf.pinPage(1, 7);
+    // Other pages come and go.
+    for (Vpn v = 20; v < 30; ++v) {
+        pf.pinPage(1, v);
+        pf.unpinPage(1, v);
+        as.unmap(v);
+    }
+    EXPECT_EQ(pf.pinnedFrame(1, 7), f);
+    EXPECT_EQ(as.lookup(7), f);
+}
+
+TEST_F(PinFacilityTest, CountersTrackOps)
+{
+    pf.pinPage(1, 0);
+    pf.pinPage(1, 0);
+    pf.unpinPage(1, 0);
+    pf.unpinPage(1, 0);
+    pf.setPinLimit(1, 1);
+    pf.pinPage(1, 1);
+    PinStatus st;
+    pf.pinPage(1, 2, &st);  // fails
+    EXPECT_EQ(pf.totalPinOps(), 4u);
+    EXPECT_EQ(pf.totalUnpinOps(), 2u);
+    EXPECT_EQ(pf.totalPagesPinned(), 2u);
+    EXPECT_EQ(pf.totalPagesUnpinned(), 1u);
+    EXPECT_EQ(pf.totalFailedPins(), 1u);
+}
+
+TEST_F(PinFacilityTest, MultiProcessAccountingIsIndependent)
+{
+    AddressSpace as2(2, pm);
+    pf.registerSpace(as2);
+    pf.setPinLimit(1, 1);
+    pf.pinPage(1, 0);
+    EXPECT_TRUE(pf.pinPage(2, 0).has_value());  // separate budget
+    EXPECT_EQ(pf.pinnedPages(1), 1u);
+    EXPECT_EQ(pf.pinnedPages(2), 1u);
+}
+
+} // namespace
+
+namespace {
+
+TEST(PhysMemory, CapacityBytesMatchesFrames)
+{
+    PhysMemory pm(7);
+    EXPECT_EQ(pm.capacityBytes(), 7u * kPageSize);
+}
+
+TEST(PhysMemory, ReallocatedFrameReadsAsZero)
+{
+    // Frames are zeroed on allocation: data never leaks between
+    // owners through frame reuse.
+    PhysMemory pm(1);
+    auto f = *pm.allocFrame(1);
+    std::array<std::uint8_t, 8> dirty{9, 9, 9, 9, 9, 9, 9, 9};
+    pm.write(frameAddr(f), dirty);
+    pm.freeFrame(f);
+    auto f2 = *pm.allocFrame(2);
+    ASSERT_EQ(f, f2);
+    std::array<std::uint8_t, 8> out{1, 1, 1, 1, 1, 1, 1, 1};
+    pm.read(frameAddr(f2), out);
+    EXPECT_EQ(out, (std::array<std::uint8_t, 8>{}));
+}
+
+TEST_F(PinFacilityTest, UnregisterProcessDropsItsState)
+{
+    pf.pinPage(1, 5);
+    pf.unregisterProcess(1);
+    EXPECT_FALSE(pf.isPinned(1, 5));
+    EXPECT_EQ(pf.pinnedPages(1), 0u);
+    // Pins from an unregistered process are rejected again.
+    PinStatus st;
+    EXPECT_FALSE(pf.pinPage(1, 6, &st).has_value());
+    EXPECT_EQ(st, PinStatus::UnknownProcess);
+}
+
+} // namespace

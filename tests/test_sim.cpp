@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, RNG,
+ * calibration curves, statistics, and the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/calibration.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "sim/types.hpp"
+
+namespace {
+
+using namespace utlb::sim;
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(usToTicks(1.0), kTicksPerUs);
+    EXPECT_EQ(usToTicks(0.5), kTicksPerUs / 2);
+    EXPECT_EQ(nsToTicks(1.0), kTicksPerNs);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(27.0)), 27.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(kTicksPerMs), 1000.0);
+}
+
+TEST(Types, PaperConstantsAreExact)
+{
+    // The cost model relies on representing 0.1 us exactly.
+    EXPECT_EQ(usToTicks(0.8), 800000u);
+    EXPECT_EQ(usToTicks(0.9) - usToTicks(0.4), usToTicks(0.5));
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.fired(), 3u);
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.after(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizonAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CalCurve, ExactAtMeasuredPoints)
+{
+    CalCurve c{{1, 27.0}, {2, 30.0}, {4, 36.0}, {8, 47.0},
+               {16, 70.0}, {32, 115.0}};
+    EXPECT_DOUBLE_EQ(c.at(1), 27.0);
+    EXPECT_DOUBLE_EQ(c.at(2), 30.0);
+    EXPECT_DOUBLE_EQ(c.at(4), 36.0);
+    EXPECT_DOUBLE_EQ(c.at(8), 47.0);
+    EXPECT_DOUBLE_EQ(c.at(16), 70.0);
+    EXPECT_DOUBLE_EQ(c.at(32), 115.0);
+}
+
+TEST(CalCurve, InterpolatesBetweenPoints)
+{
+    CalCurve c{{1, 10.0}, {3, 20.0}};
+    EXPECT_DOUBLE_EQ(c.at(2), 15.0);
+}
+
+TEST(CalCurve, ExtrapolatesWithFinalSlope)
+{
+    CalCurve c{{1, 10.0}, {2, 12.0}, {4, 16.0}};
+    // Final segment slope: (16-12)/2 = 2 per entry.
+    EXPECT_DOUBLE_EQ(c.at(6), 20.0);
+}
+
+TEST(CalCurve, ClampsBelowFirstPoint)
+{
+    CalCurve c{{4, 8.0}, {8, 16.0}};
+    EXPECT_DOUBLE_EQ(c.at(1), 8.0);
+}
+
+TEST(CalCurve, MonotoneInputStaysMonotone)
+{
+    CalCurve c{{1, 1.5}, {2, 1.6}, {4, 1.6}, {8, 1.9}, {16, 2.1},
+               {32, 2.5}};
+    double prev = 0.0;
+    for (std::size_t n = 1; n <= 64; ++n) {
+        double v = c.at(n);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    StatGroup g("test");
+    Counter c(&g, "c", "a counter");
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageComputesMean)
+{
+    StatGroup g("test");
+    Average a(&g, "a", "an average");
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 9.0);
+}
+
+TEST(Stats, AverageOfNothingIsZero)
+{
+    StatGroup g("test");
+    Average a(&g, "a", "empty");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    StatGroup g("test");
+    Histogram h(&g, "h", "hist", 10.0, 5);
+    h.sample(0.5);   // bucket 0
+    h.sample(3.0);   // bucket 1
+    h.sample(9.99);  // bucket 4
+    h.sample(10.0);  // overflow
+    h.sample(-1.0);  // overflow (negative)
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Stats, GroupDumpContainsAllStats)
+{
+    StatGroup g("parent");
+    StatGroup child("child", &g);
+    Counter c1(&g, "alpha", "first");
+    Counter c2(&child, "beta", "second");
+    ++c1;
+    ++c2;
+    std::ostringstream oss;
+    g.dump(oss);
+    auto text = oss.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("child"), std::string::npos);
+}
+
+TEST(Stats, FindLocatesByName)
+{
+    StatGroup g("g");
+    Counter c(&g, "needle", "x");
+    EXPECT_EQ(g.find("needle"), &c);
+    EXPECT_EQ(g.find("missing"), nullptr);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup g("g");
+    StatGroup child("c", &g);
+    Counter c1(&g, "a", "x");
+    Counter c2(&child, "b", "y");
+    c1 += 3;
+    c2 += 4;
+    g.resetAll();
+    EXPECT_EQ(c1.value(), 0u);
+    EXPECT_EQ(c2.value(), 0u);
+}
+
+TEST(TextTable, AlignsColumnsAndFormatsNumbers)
+{
+    TextTable t("Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"x", TextTable::num(1.5, 1)});
+    t.addRow({"longer-name", TextTable::num(std::uint64_t{42})});
+    auto s = t.str();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumFormatsDecimals)
+{
+    EXPECT_EQ(TextTable::num(0.25, 2), "0.25");
+    EXPECT_EQ(TextTable::num(3.14159, 1), "3.1");
+    EXPECT_EQ(TextTable::num(std::uint64_t{8192}), "8192");
+}
+
+} // namespace
+
+namespace {
+
+TEST(Stats, HistogramTracksExtremesAndMean)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "x", 100.0, 10);
+    h.sample(5.0);
+    h.sample(95.0);
+    h.sample(50.0);
+    EXPECT_DOUBLE_EQ(h.minSeen(), 5.0);
+    EXPECT_DOUBLE_EQ(h.maxSeen(), 95.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+    h.reset();
+    h.sample(7.0);
+    EXPECT_DOUBLE_EQ(h.minSeen(), 7.0);
+    EXPECT_DOUBLE_EQ(h.maxSeen(), 7.0);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+    Rng r2(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r2.chance(0.0));
+        EXPECT_TRUE(r2.chance(1.0));
+    }
+}
+
+TEST(TextTable, RuleSeparatesRows)
+{
+    TextTable t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    auto s = t.str();
+    // A dashed line appears between the two data rows.
+    auto one = s.find("1\n");
+    auto two = s.find("2\n");
+    auto dash = s.find("--", one);
+    ASSERT_NE(one, std::string::npos);
+    ASSERT_NE(two, std::string::npos);
+    EXPECT_LT(one, dash);
+    EXPECT_LT(dash, two);
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Tests for the trace-driven simulator: UTLB vs interrupt-baseline
+ * invariants, miss classification, memory limits, prefetching, and
+ * the cost equations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/pin_manager.hpp"
+#include "core/registration_cache.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "tlbsim/simulator.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace utlb::tlbsim;
+using utlb::mem::addrOf;
+using utlb::mem::kPageSize;
+using utlb::trace::Trace;
+using utlb::trace::TraceOp;
+using utlb::trace::TraceRecord;
+
+Trace
+simpleTrace(std::initializer_list<std::pair<int, int>> pid_page,
+            std::uint32_t nbytes = kPageSize)
+{
+    Trace t;
+    std::uint64_t seq = 0;
+    for (auto [pid, page] : pid_page) {
+        t.push_back(TraceRecord{
+            seq++, static_cast<utlb::mem::ProcId>(pid), TraceOp::Send,
+            addrOf(static_cast<utlb::mem::Vpn>(page)), nbytes});
+    }
+    return t;
+}
+
+TEST(TlbSim, EmptyTraceYieldsZeroResult)
+{
+    SimConfig cfg;
+    auto r = simulateUtlb({}, cfg);
+    EXPECT_EQ(r.lookups, 0u);
+    EXPECT_EQ(r.probes, 0u);
+    EXPECT_DOUBLE_EQ(r.avgLookupCostUs(), 0.0);
+}
+
+TEST(TlbSim, ColdPagesAreCompulsoryMisses)
+{
+    SimConfig cfg;
+    cfg.cache = {64, 1, true};
+    auto r = simulateUtlb(simpleTrace({{1, 10}, {1, 11}, {1, 12}}),
+                          cfg);
+    EXPECT_EQ(r.lookups, 3u);
+    EXPECT_EQ(r.probes, 3u);
+    EXPECT_EQ(r.checkMissLookups, 3u);
+    EXPECT_EQ(r.niMissProbes, 3u);
+    EXPECT_EQ(r.compulsoryMisses, 3u);
+    EXPECT_EQ(r.capacityMisses, 0u);
+    EXPECT_EQ(r.conflictMisses, 0u);
+    EXPECT_EQ(r.pagesPinned, 3u);
+    EXPECT_EQ(r.pagesUnpinned, 0u);
+}
+
+TEST(TlbSim, RepeatedPageHitsEverything)
+{
+    SimConfig cfg;
+    auto r = simulateUtlb(
+        simpleTrace({{1, 10}, {1, 10}, {1, 10}, {1, 10}}), cfg);
+    EXPECT_EQ(r.checkMissLookups, 1u);
+    EXPECT_EQ(r.niMissProbes, 1u);
+    EXPECT_EQ(r.pagesPinned, 1u);
+}
+
+TEST(TlbSim, ClassificationSumsToMisses)
+{
+    SimConfig cfg;
+    cfg.cache = {1024, 1, true};
+    auto trace = utlb::trace::generateTrace("water");
+    auto r = simulateUtlb(trace, cfg);
+    EXPECT_EQ(r.compulsoryMisses + r.capacityMisses + r.conflictMisses,
+              r.niMissProbes);
+    EXPECT_GT(r.compulsoryMisses, 0u);
+}
+
+TEST(TlbSim, ConflictMissesVanishWithFullAssociativityEquivalent)
+{
+    // A cache as large as the footprint with offsetting has (almost)
+    // no capacity misses; conflicts may remain by definition.
+    SimConfig cfg;
+    cfg.cache = {65536, 1, true};
+    auto trace = utlb::trace::generateTrace("water");
+    auto r = simulateUtlb(trace, cfg);
+    EXPECT_EQ(r.capacityMisses, 0u);
+}
+
+TEST(TlbSim, UtlbNeverUnpinsWithInfiniteMemory)
+{
+    SimConfig cfg;
+    cfg.cache = {256, 1, true};
+    for (const char *app : {"water", "volrend"}) {
+        auto r = simulateUtlb(utlb::trace::generateTrace(app), cfg);
+        EXPECT_EQ(r.pagesUnpinned, 0u) << app;
+    }
+}
+
+TEST(TlbSim, IntrUnpinsOnEvictions)
+{
+    SimConfig cfg;
+    cfg.cache = {256, 1, true};
+    auto trace = utlb::trace::generateTrace("water");
+    auto r = simulateIntr(trace, cfg);
+    EXPECT_GT(r.pagesUnpinned, 0u);
+    EXPECT_EQ(r.interrupts, r.niMissProbes);
+    EXPECT_EQ(r.checkMissLookups, 0u);  // no user-level check
+}
+
+TEST(TlbSim, UtlbAndIntrSeeTheSameCacheBehaviour)
+{
+    // With infinite memory both mechanisms drive identical probe
+    // streams into identically-configured caches (Table 4's NI-miss
+    // rows are equal for UTLB and Intr).
+    SimConfig cfg;
+    cfg.cache = {512, 1, true};
+    auto trace = utlb::trace::generateTrace("volrend");
+    auto u = simulateUtlb(trace, cfg);
+    auto i = simulateIntr(trace, cfg);
+    EXPECT_EQ(u.niMissProbes, i.niMissProbes);
+    EXPECT_EQ(u.probes, i.probes);
+}
+
+TEST(TlbSim, MemoryLimitForcesUtlbUnpins)
+{
+    SimConfig cfg;
+    cfg.cache = {8192, 1, true};
+    cfg.memLimitPages = 64;
+    auto trace = utlb::trace::generateTrace("water");
+    auto r = simulateUtlb(trace, cfg);
+    EXPECT_GT(r.pagesUnpinned, 0u);
+    // Re-pinning raises the check-miss rate versus unlimited memory.
+    SimConfig unlimited = cfg;
+    unlimited.memLimitPages = 0;
+    auto r0 = simulateUtlb(trace, unlimited);
+    EXPECT_GT(r.checkMissLookups, r0.checkMissLookups);
+}
+
+TEST(TlbSim, BiggerCacheNeverIncreasesMissesMuch)
+{
+    // Not strictly monotone (offset hashing), but a 16x larger cache
+    // must not be worse.
+    SimConfig small, big;
+    small.cache = {1024, 1, true};
+    big.cache = {16384, 1, true};
+    for (const char *app : {"fft", "radix", "water"}) {
+        auto trace = utlb::trace::generateTrace(app);
+        auto s = simulateUtlb(trace, small);
+        auto b = simulateUtlb(trace, big);
+        EXPECT_LE(b.niMissProbes, s.niMissProbes) << app;
+    }
+}
+
+TEST(TlbSim, PrefetchReducesMissesAndNeverBreaksCorrectness)
+{
+    auto trace = utlb::trace::generateTrace("radix");
+    SimConfig none, aggressive;
+    none.cache = aggressive.cache = {1024, 1, true};
+    none.prefetchEntries = 1;
+    aggressive.prefetchEntries = 16;
+    aggressive.prepinPages = 16;
+    auto r1 = simulateUtlb(trace, none);
+    auto r16 = simulateUtlb(trace, aggressive);
+    EXPECT_LT(r16.niMissProbes, r1.niMissProbes);
+    EXPECT_EQ(r16.probes, r1.probes);
+}
+
+TEST(TlbSim, CostEquationComponentsArePositiveAndOrdered)
+{
+    SimConfig cfg;
+    cfg.cache = {1024, 1, true};
+    auto trace = utlb::trace::generateTrace("fft");
+    auto u = simulateUtlb(trace, cfg);
+    auto i = simulateIntr(trace, cfg);
+    EXPECT_GT(u.avgLookupCostUs(), 0.0);
+    // §6: UTLB beats the interrupt approach at small cache sizes for
+    // FFT (Table 6's headline comparison).
+    EXPECT_LT(u.avgLookupCostUs(), i.avgLookupCostUs());
+    // Host-side: pin time is included in host time.
+    EXPECT_GE(u.hostTime, u.pinTime + u.unpinTime);
+}
+
+TEST(TlbSim, MultiPageLookupsCountOncePerLookup)
+{
+    // Two-page lookups: check misses and NI-miss lookups are
+    // per-operation, probes are per-page.
+    SimConfig cfg;
+    auto r = simulateUtlb(
+        simpleTrace({{1, 10}, {1, 20}}, 2 * kPageSize), cfg);
+    EXPECT_EQ(r.lookups, 2u);
+    EXPECT_EQ(r.probes, 4u);
+    EXPECT_EQ(r.checkMissLookups, 2u);
+    EXPECT_EQ(r.niMissLookups, 2u);
+    EXPECT_EQ(r.niMissProbes, 4u);
+}
+
+TEST(TlbSim, ProcessesShareOneCacheButNotPins)
+{
+    SimConfig cfg;
+    cfg.cache = {8, 1, false};  // tiny, no offsetting: collisions
+    // Two processes hammer the same page number; without offsetting
+    // they collide in the same set and evict each other.
+    Trace t;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 20; ++i) {
+        t.push_back({seq++, 1, TraceOp::Send, addrOf(8), kPageSize});
+        t.push_back({seq++, 2, TraceOp::Send, addrOf(8), kPageSize});
+    }
+    auto collide = simulateUtlb(t, cfg);
+    SimConfig hashed = cfg;
+    hashed.cache.indexOffsetting = true;
+    auto spread = simulateUtlb(t, hashed);
+    EXPECT_GT(collide.niMissProbes, spread.niMissProbes);
+    // Pinning is per-process either way: exactly 2 pages pinned.
+    EXPECT_EQ(collide.pagesPinned, 2u);
+    EXPECT_EQ(spread.pagesPinned, 2u);
+}
+
+TEST(TlbSim, DeterministicAcrossRuns)
+{
+    SimConfig cfg;
+    cfg.cache = {2048, 2, true};
+    cfg.memLimitPages = 256;
+    auto trace = utlb::trace::generateTrace("volrend");
+    auto a = simulateUtlb(trace, cfg);
+    auto b = simulateUtlb(trace, cfg);
+    EXPECT_EQ(a.niMissProbes, b.niMissProbes);
+    EXPECT_EQ(a.pagesUnpinned, b.pagesUnpinned);
+    EXPECT_EQ(a.hostTime, b.hostTime);
+    EXPECT_EQ(a.nicTime, b.nicTime);
+}
+
+/** Parameterized policy sweep under a tight memory limit. */
+class PolicySweep
+    : public ::testing::TestWithParam<utlb::core::PolicyKind>
+{};
+
+TEST_P(PolicySweep, AllPoliciesCompleteAndBalanceBudget)
+{
+    SimConfig cfg;
+    cfg.cache = {1024, 1, true};
+    cfg.memLimitPages = 128;
+    cfg.policy = GetParam();
+    auto trace = utlb::trace::generateTrace("water");
+    auto r = simulateUtlb(trace, cfg);
+    EXPECT_EQ(r.lookups, trace.size());
+    // Conservation: pages pinned - unpinned fits within the budget
+    // (per process; 5 processes).
+    EXPECT_LE(r.pagesPinned - r.pagesUnpinned, 5u * 128u);
+    EXPECT_GT(r.pagesPinned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(utlb::core::PolicyKind::Lru,
+                      utlb::core::PolicyKind::Mru,
+                      utlb::core::PolicyKind::Lfu,
+                      utlb::core::PolicyKind::Mfu,
+                      utlb::core::PolicyKind::Fifo,
+                      utlb::core::PolicyKind::Random),
+    [](const ::testing::TestParamInfo<utlb::core::PolicyKind> &info) {
+        return utlb::core::toString(info.param);
+    });
+
+} // namespace
+
+// Warm-up window: steady-state analysis.
+namespace {
+
+TEST(TlbSimWarmup, WarmupExcludesColdStartStats)
+{
+    auto trace = utlb::trace::generateTrace("water");
+    SimConfig cold, warm;
+    cold.cache = warm.cache = {16384, 1, true};
+    warm.warmupLookups = trace.size() / 2;
+
+    auto c = simulateUtlb(trace, cold);
+    auto w = simulateUtlb(trace, warm);
+    // Only the post-warmup half is counted.
+    EXPECT_EQ(w.lookups, trace.size() - warm.warmupLookups);
+    // Water's footprint is fully pinned by halfway: steady state has
+    // (almost) no check misses or compulsory misses.
+    EXPECT_LT(w.checkMissPerLookup(), 0.02);
+    EXPECT_LT(w.probeMissRate(), 0.02);
+    EXPECT_GT(c.checkMissPerLookup(), 0.08);
+    EXPECT_EQ(w.pagesUnpinned, 0u);
+}
+
+TEST(TlbSimWarmup, WarmupBeyondTraceYieldsNothing)
+{
+    auto trace = utlb::trace::generateTrace("water");
+    SimConfig cfg;
+    cfg.warmupLookups = trace.size() + 10;
+    auto r = simulateUtlb(trace, cfg);
+    EXPECT_EQ(r.lookups, 0u);
+    EXPECT_EQ(r.probes, 0u);
+}
+
+TEST(PinningDifferential, BitmapAndRcacheConvergeToSamePinnedSet)
+{
+    // With no budget, the UTLB bitmap manager and the registration
+    // cache must end up pinning exactly the same set of pages for
+    // the same access stream (they only differ under eviction).
+    auto trace = utlb::trace::generateTrace("volrend");
+
+    auto run = [&](bool use_rcache) {
+        auto shape = utlb::trace::measure(trace);
+        auto pm = std::make_unique<utlb::mem::PhysMemory>(
+            shape.distinctPages * 3 + 1024);
+        utlb::mem::PinFacility pins;
+        utlb::nic::Sram sram(4u << 20);
+        utlb::nic::NicTimings timings;
+        utlb::core::HostCosts costs;
+        utlb::core::SharedUtlbCache cache({64, 1, true}, timings);
+        utlb::core::UtlbDriver driver(*pm, pins, sram, cache, costs);
+        std::map<utlb::mem::ProcId,
+                 std::unique_ptr<utlb::mem::AddressSpace>> spaces;
+        std::map<utlb::mem::ProcId,
+                 std::unique_ptr<utlb::core::PinManager>> mgrs;
+        std::map<utlb::mem::ProcId,
+                 std::unique_ptr<utlb::core::RegistrationCache>> rcs;
+
+        for (const auto &rec : trace) {
+            if (!spaces.count(rec.pid)) {
+                auto sp = std::make_unique<utlb::mem::AddressSpace>(
+                    rec.pid, *pm);
+                driver.registerProcess(*sp);
+                spaces.emplace(rec.pid, std::move(sp));
+            }
+            if (use_rcache) {
+                auto it = rcs.find(rec.pid);
+                if (it == rcs.end()) {
+                    it = rcs.emplace(
+                                rec.pid,
+                                std::make_unique<
+                                    utlb::core::RegistrationCache>(
+                                    driver, rec.pid,
+                                    utlb::core::RegCacheConfig{}))
+                             .first;
+                }
+                it->second->acquire(rec.va, rec.nbytes);
+            } else {
+                auto it = mgrs.find(rec.pid);
+                if (it == mgrs.end()) {
+                    it = mgrs.emplace(
+                                rec.pid,
+                                std::make_unique<
+                                    utlb::core::PinManager>(
+                                    driver, rec.pid,
+                                    utlb::core::PinManagerConfig{}))
+                             .first;
+                }
+                it->second->ensurePinned(
+                    utlb::mem::pageOf(rec.va),
+                    utlb::mem::pagesSpanned(rec.va, rec.nbytes));
+            }
+        }
+        // Snapshot: per-process pinned-page counts plus a pinned
+        // check over every page the trace touched (scanning the
+        // whole VA space would be too slow; the trace's own pages
+        // are the complete universe of candidates here).
+        std::set<std::pair<utlb::mem::ProcId, utlb::mem::Vpn>> pinned;
+        for (const auto &rec : trace) {
+            utlb::mem::Vpn start = utlb::mem::pageOf(rec.va);
+            std::size_t n =
+                utlb::mem::pagesSpanned(rec.va, rec.nbytes);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (pins.isPinned(rec.pid, start + i))
+                    pinned.insert({rec.pid, start + i});
+            }
+        }
+        for (const auto &[pid, sp] : spaces) {
+            // Counts must agree with the set (no pins outside it).
+            std::size_t in_set = 0;
+            for (const auto &[p, v] : pinned)
+                in_set += (p == pid);
+            EXPECT_EQ(pins.pinnedPages(pid), in_set);
+        }
+        return pinned;
+    };
+
+    auto bitmap_set = run(false);
+    auto rcache_set = run(true);
+    EXPECT_EQ(bitmap_set, rcache_set);
+}
+
+} // namespace

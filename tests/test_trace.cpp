@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the trace layer: record measurement, serialization, and
+ * the synthetic workload generators' calibration against Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "trace/record.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace utlb::trace;
+using utlb::mem::addrOf;
+using utlb::mem::kPageSize;
+using utlb::mem::pageOf;
+
+TEST(TraceMeasure, CountsDistinctPagesPerProcess)
+{
+    Trace t;
+    t.push_back({0, 1, TraceOp::Send, addrOf(10), 4096});
+    t.push_back({1, 1, TraceOp::Send, addrOf(10), 4096});
+    t.push_back({2, 2, TraceOp::Send, addrOf(10), 4096});  // other pid
+    t.push_back({3, 1, TraceOp::Fetch, addrOf(20), 8192});
+    auto shape = measure(t);
+    EXPECT_EQ(shape.lookups, 4u);
+    EXPECT_EQ(shape.distinctPages, 4u);  // (1,10) (2,10) (1,20) (1,21)
+    EXPECT_EQ(shape.processes, 2u);
+    EXPECT_DOUBLE_EQ(shape.pagesPerLookup, 5.0 / 4.0);
+}
+
+TEST(TraceIo, RoundTripsThroughText)
+{
+    Trace t;
+    t.push_back({0, 3, TraceOp::Send, 0x123456000ull, 4096});
+    t.push_back({1, 4, TraceOp::Fetch, 0xabc000ull, 123});
+    std::stringstream ss;
+    writeTrace(t, ss);
+    auto back = readTrace(ss);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), 2u);
+    EXPECT_EQ((*back)[0].va, t[0].va);
+    EXPECT_EQ((*back)[0].op, TraceOp::Send);
+    EXPECT_EQ((*back)[1].op, TraceOp::Fetch);
+    EXPECT_EQ((*back)[1].nbytes, 123u);
+    EXPECT_EQ((*back)[1].pid, 4u);
+}
+
+TEST(TraceIo, RejectsGarbage)
+{
+    std::stringstream ss("not a trace\n1 2 3\n");
+    EXPECT_FALSE(readTrace(ss).has_value());
+    std::stringstream ss2("# utlb-trace v1\n0 1 Q 1000 64\n");
+    EXPECT_FALSE(readTrace(ss2).has_value());
+}
+
+TEST(Workloads, TableHasSevenApps)
+{
+    EXPECT_EQ(allWorkloads().size(), 7u);
+    EXPECT_EQ(workloadByName("fft").footprintPages, 10803u);
+    EXPECT_EQ(workloadByName("water").lookups, 8488u);
+}
+
+/** Calibration: every generator hits Table 3 within tolerance. */
+class WorkloadCalibration
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(WorkloadCalibration, MatchesTable3Targets)
+{
+    const auto &info = workloadByName(GetParam());
+    auto trace = generateTrace(GetParam());
+    auto shape = measure(trace);
+
+    // Lookups within 0.5%, footprint within 2%.
+    EXPECT_NEAR(static_cast<double>(shape.lookups),
+                static_cast<double>(info.lookups),
+                0.005 * static_cast<double>(info.lookups));
+    EXPECT_NEAR(static_cast<double>(shape.distinctPages),
+                static_cast<double>(info.footprintPages),
+                0.02 * static_cast<double>(info.footprintPages));
+}
+
+TEST_P(WorkloadCalibration, HasFiveInterleavedProcesses)
+{
+    auto trace = generateTrace(GetParam());
+    auto shape = measure(trace);
+    EXPECT_EQ(shape.processes, 5u);  // 4 app + 1 protocol
+
+    // Interleaved, not concatenated: every 1000-record window must
+    // contain several distinct pids.
+    for (std::size_t start = 0; start + 1000 <= trace.size();
+         start += 1000) {
+        std::set<utlb::mem::ProcId> pids;
+        for (std::size_t i = start; i < start + 1000; ++i)
+            pids.insert(trace[i].pid);
+        EXPECT_GE(pids.size(), 4u) << "window at " << start;
+    }
+}
+
+TEST_P(WorkloadCalibration, SequenceNumbersAreSerialized)
+{
+    auto trace = generateTrace(GetParam());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(trace[i].seq, i);
+}
+
+TEST_P(WorkloadCalibration, DeterministicPerSeed)
+{
+    auto a = generateTrace(GetParam(), 7);
+    auto b = generateTrace(GetParam(), 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].va, b[i].va);
+        ASSERT_EQ(a[i].pid, b[i].pid);
+    }
+}
+
+TEST_P(WorkloadCalibration, RecordsAreWellFormed)
+{
+    auto trace = generateTrace(GetParam());
+    for (const auto &rec : trace) {
+        ASSERT_LE(rec.pid, kProtocolPid);
+        ASSERT_GT(rec.nbytes, 0u);
+        ASSERT_LE(rec.nbytes, 8u * kPageSize);
+        ASSERT_EQ(rec.va % kPageSize, 0u);  // page-aligned buffers
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCalibration,
+    ::testing::Values("fft", "lu", "barnes", "radix", "raytrace",
+                      "volrend", "water"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(Workloads, UnknownNameDies)
+{
+    EXPECT_DEATH(
+        {
+            workloadByName("doom");
+        },
+        "unknown workload");
+}
+
+} // namespace
+
+namespace {
+
+using utlb::trace::generateSynthetic;
+using utlb::trace::SyntheticSpec;
+
+TEST(Synthetic, UniformCoversMostPagesRandomly)
+{
+    SyntheticSpec spec;
+    spec.processes = 2;
+    spec.pages = 64;
+    spec.lookups = 4000;
+    auto t = generateSynthetic("uniform", spec, 3);
+    auto shape = measure(t);
+    EXPECT_EQ(shape.lookups, 8000u);
+    EXPECT_EQ(shape.processes, 2u);
+    // 4000 uniform draws over 64 pages: all pages touched w.h.p.
+    EXPECT_EQ(shape.distinctPages, 128u);
+}
+
+TEST(Synthetic, StreamNeverRevisits)
+{
+    SyntheticSpec spec;
+    spec.processes = 3;
+    spec.lookups = 500;
+    auto t = generateSynthetic("stream", spec, 3);
+    auto shape = measure(t);
+    EXPECT_EQ(shape.distinctPages, shape.lookups);
+    EXPECT_EQ(shape.lookups, 1500u);
+}
+
+TEST(Synthetic, HotColdConcentratesAccesses)
+{
+    SyntheticSpec spec;
+    spec.processes = 1;
+    spec.pages = 4096;
+    spec.hotPages = 16;
+    spec.hotFraction = 0.95;
+    spec.lookups = 10000;
+    auto t = generateSynthetic("hotcold", spec, 3);
+    // Count accesses landing in the hot set.
+    std::size_t hot = 0;
+    for (const auto &rec : t) {
+        auto vpn = pageOf(rec.va) - ((utlb::mem::Vpn{0} + 1) << 20);
+        hot += (vpn < 16);
+    }
+    double frac = static_cast<double>(hot)
+        / static_cast<double>(t.size());
+    EXPECT_NEAR(frac, 0.95, 0.02);
+}
+
+TEST(Synthetic, UnknownKindDies)
+{
+    EXPECT_DEATH(
+        {
+            generateSynthetic("nope", SyntheticSpec{});
+        },
+        "unknown synthetic");
+}
+
+} // namespace
