@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fragmentation"
+  "../bench/bench_ablation_fragmentation.pdb"
+  "CMakeFiles/bench_ablation_fragmentation.dir/bench_ablation_fragmentation.cpp.o"
+  "CMakeFiles/bench_ablation_fragmentation.dir/bench_ablation_fragmentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

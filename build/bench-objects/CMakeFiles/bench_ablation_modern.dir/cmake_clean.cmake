@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_modern"
+  "../bench/bench_ablation_modern.pdb"
+  "CMakeFiles/bench_ablation_modern.dir/bench_ablation_modern.cpp.o"
+  "CMakeFiles/bench_ablation_modern.dir/bench_ablation_modern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

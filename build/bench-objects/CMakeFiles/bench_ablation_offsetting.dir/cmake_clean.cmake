@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_offsetting"
+  "../bench/bench_ablation_offsetting.pdb"
+  "CMakeFiles/bench_ablation_offsetting.dir/bench_ablation_offsetting.cpp.o"
+  "CMakeFiles/bench_ablation_offsetting.dir/bench_ablation_offsetting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_offsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_per_process"
+  "../bench/bench_ablation_per_process.pdb"
+  "CMakeFiles/bench_ablation_per_process.dir/bench_ablation_per_process.cpp.o"
+  "CMakeFiles/bench_ablation_per_process.dir/bench_ablation_per_process.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_per_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

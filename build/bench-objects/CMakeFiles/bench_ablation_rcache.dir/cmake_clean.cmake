@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rcache"
+  "../bench/bench_ablation_rcache.pdb"
+  "CMakeFiles/bench_ablation_rcache.dir/bench_ablation_rcache.cpp.o"
+  "CMakeFiles/bench_ablation_rcache.dir/bench_ablation_rcache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_steady_state"
+  "../bench/bench_ablation_steady_state.pdb"
+  "CMakeFiles/bench_ablation_steady_state.dir/bench_ablation_steady_state.cpp.o"
+  "CMakeFiles/bench_ablation_steady_state.dir/bench_ablation_steady_state.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

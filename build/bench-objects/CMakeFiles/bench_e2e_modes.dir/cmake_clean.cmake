@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2e_modes"
+  "../bench/bench_e2e_modes.pdb"
+  "CMakeFiles/bench_e2e_modes.dir/bench_e2e_modes.cpp.o"
+  "CMakeFiles/bench_e2e_modes.dir/bench_e2e_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_host_ops"
+  "../bench/bench_table1_host_ops.pdb"
+  "CMakeFiles/bench_table1_host_ops.dir/bench_table1_host_ops.cpp.o"
+  "CMakeFiles/bench_table1_host_ops.dir/bench_table1_host_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_host_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

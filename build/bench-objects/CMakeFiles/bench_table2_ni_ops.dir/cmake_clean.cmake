@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ni_ops"
+  "../bench/bench_table2_ni_ops.pdb"
+  "CMakeFiles/bench_table2_ni_ops.dir/bench_table2_ni_ops.cpp.o"
+  "CMakeFiles/bench_table2_ni_ops.dir/bench_table2_ni_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ni_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_utlb_vs_intr.cpp" "bench-objects/CMakeFiles/bench_table4_utlb_vs_intr.dir/bench_table4_utlb_vs_intr.cpp.o" "gcc" "bench-objects/CMakeFiles/bench_table4_utlb_vs_intr.dir/bench_table4_utlb_vs_intr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlbsim/CMakeFiles/utlb_tlbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/utlb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/utlb_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/utlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/utlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/utlb_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/utlb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/utlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

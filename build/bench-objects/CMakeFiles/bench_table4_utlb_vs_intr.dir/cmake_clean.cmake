@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_utlb_vs_intr"
+  "../bench/bench_table4_utlb_vs_intr.pdb"
+  "CMakeFiles/bench_table4_utlb_vs_intr.dir/bench_table4_utlb_vs_intr.cpp.o"
+  "CMakeFiles/bench_table4_utlb_vs_intr.dir/bench_table4_utlb_vs_intr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_utlb_vs_intr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_lookup_cost"
+  "../bench/bench_table6_lookup_cost.pdb"
+  "CMakeFiles/bench_table6_lookup_cost.dir/bench_table6_lookup_cost.cpp.o"
+  "CMakeFiles/bench_table6_lookup_cost.dir/bench_table6_lookup_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_lookup_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_prepinning"
+  "../bench/bench_table7_prepinning.pdb"
+  "CMakeFiles/bench_table7_prepinning.dir/bench_table7_prepinning.cpp.o"
+  "CMakeFiles/bench_table7_prepinning.dir/bench_table7_prepinning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_prepinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

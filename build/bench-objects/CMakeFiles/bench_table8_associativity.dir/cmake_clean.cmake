@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_associativity"
+  "../bench/bench_table8_associativity.pdb"
+  "CMakeFiles/bench_table8_associativity.dir/bench_table8_associativity.cpp.o"
+  "CMakeFiles/bench_table8_associativity.dir/bench_table8_associativity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_policy"
+  "../examples/custom_policy.pdb"
+  "CMakeFiles/custom_policy.dir/custom_policy.cpp.o"
+  "CMakeFiles/custom_policy.dir/custom_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

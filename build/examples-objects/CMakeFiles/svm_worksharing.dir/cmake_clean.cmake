@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/svm_worksharing"
+  "../examples/svm_worksharing.pdb"
+  "CMakeFiles/svm_worksharing.dir/svm_worksharing.cpp.o"
+  "CMakeFiles/svm_worksharing.dir/svm_worksharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_worksharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

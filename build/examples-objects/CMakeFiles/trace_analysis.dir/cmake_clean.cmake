@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/trace_analysis"
+  "../examples/trace_analysis.pdb"
+  "CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o"
+  "CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

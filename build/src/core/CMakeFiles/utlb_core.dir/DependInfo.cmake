@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitvector.cpp" "src/core/CMakeFiles/utlb_core.dir/bitvector.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/bitvector.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/utlb_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/interrupt_baseline.cpp" "src/core/CMakeFiles/utlb_core.dir/interrupt_baseline.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/interrupt_baseline.cpp.o.d"
+  "/root/repo/src/core/lookup_tree.cpp" "src/core/CMakeFiles/utlb_core.dir/lookup_tree.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/lookup_tree.cpp.o.d"
+  "/root/repo/src/core/per_process_utlb.cpp" "src/core/CMakeFiles/utlb_core.dir/per_process_utlb.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/per_process_utlb.cpp.o.d"
+  "/root/repo/src/core/pin_manager.cpp" "src/core/CMakeFiles/utlb_core.dir/pin_manager.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/pin_manager.cpp.o.d"
+  "/root/repo/src/core/registration_cache.cpp" "src/core/CMakeFiles/utlb_core.dir/registration_cache.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/registration_cache.cpp.o.d"
+  "/root/repo/src/core/replacement.cpp" "src/core/CMakeFiles/utlb_core.dir/replacement.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/replacement.cpp.o.d"
+  "/root/repo/src/core/shared_cache.cpp" "src/core/CMakeFiles/utlb_core.dir/shared_cache.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/shared_cache.cpp.o.d"
+  "/root/repo/src/core/table_pager.cpp" "src/core/CMakeFiles/utlb_core.dir/table_pager.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/table_pager.cpp.o.d"
+  "/root/repo/src/core/translation_table.cpp" "src/core/CMakeFiles/utlb_core.dir/translation_table.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/translation_table.cpp.o.d"
+  "/root/repo/src/core/utlb.cpp" "src/core/CMakeFiles/utlb_core.dir/utlb.cpp.o" "gcc" "src/core/CMakeFiles/utlb_core.dir/utlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/utlb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/utlb_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/utlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_core.dir/bitvector.cpp.o"
+  "CMakeFiles/utlb_core.dir/bitvector.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/driver.cpp.o"
+  "CMakeFiles/utlb_core.dir/driver.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/interrupt_baseline.cpp.o"
+  "CMakeFiles/utlb_core.dir/interrupt_baseline.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/lookup_tree.cpp.o"
+  "CMakeFiles/utlb_core.dir/lookup_tree.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/per_process_utlb.cpp.o"
+  "CMakeFiles/utlb_core.dir/per_process_utlb.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/pin_manager.cpp.o"
+  "CMakeFiles/utlb_core.dir/pin_manager.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/registration_cache.cpp.o"
+  "CMakeFiles/utlb_core.dir/registration_cache.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/replacement.cpp.o"
+  "CMakeFiles/utlb_core.dir/replacement.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/shared_cache.cpp.o"
+  "CMakeFiles/utlb_core.dir/shared_cache.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/table_pager.cpp.o"
+  "CMakeFiles/utlb_core.dir/table_pager.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/translation_table.cpp.o"
+  "CMakeFiles/utlb_core.dir/translation_table.cpp.o.d"
+  "CMakeFiles/utlb_core.dir/utlb.cpp.o"
+  "CMakeFiles/utlb_core.dir/utlb.cpp.o.d"
+  "libutlb_core.a"
+  "libutlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

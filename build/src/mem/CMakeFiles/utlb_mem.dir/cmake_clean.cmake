@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_mem.dir/address_space.cpp.o"
+  "CMakeFiles/utlb_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/utlb_mem.dir/phys_memory.cpp.o"
+  "CMakeFiles/utlb_mem.dir/phys_memory.cpp.o.d"
+  "CMakeFiles/utlb_mem.dir/pinning.cpp.o"
+  "CMakeFiles/utlb_mem.dir/pinning.cpp.o.d"
+  "libutlb_mem.a"
+  "libutlb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

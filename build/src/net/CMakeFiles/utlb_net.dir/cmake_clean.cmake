@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_net.dir/network.cpp.o"
+  "CMakeFiles/utlb_net.dir/network.cpp.o.d"
+  "libutlb_net.a"
+  "libutlb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/command_post.cpp" "src/nic/CMakeFiles/utlb_nic.dir/command_post.cpp.o" "gcc" "src/nic/CMakeFiles/utlb_nic.dir/command_post.cpp.o.d"
+  "/root/repo/src/nic/dma.cpp" "src/nic/CMakeFiles/utlb_nic.dir/dma.cpp.o" "gcc" "src/nic/CMakeFiles/utlb_nic.dir/dma.cpp.o.d"
+  "/root/repo/src/nic/sram.cpp" "src/nic/CMakeFiles/utlb_nic.dir/sram.cpp.o" "gcc" "src/nic/CMakeFiles/utlb_nic.dir/sram.cpp.o.d"
+  "/root/repo/src/nic/timing.cpp" "src/nic/CMakeFiles/utlb_nic.dir/timing.cpp.o" "gcc" "src/nic/CMakeFiles/utlb_nic.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/utlb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/utlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_nic.dir/command_post.cpp.o"
+  "CMakeFiles/utlb_nic.dir/command_post.cpp.o.d"
+  "CMakeFiles/utlb_nic.dir/dma.cpp.o"
+  "CMakeFiles/utlb_nic.dir/dma.cpp.o.d"
+  "CMakeFiles/utlb_nic.dir/sram.cpp.o"
+  "CMakeFiles/utlb_nic.dir/sram.cpp.o.d"
+  "CMakeFiles/utlb_nic.dir/timing.cpp.o"
+  "CMakeFiles/utlb_nic.dir/timing.cpp.o.d"
+  "libutlb_nic.a"
+  "libutlb_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

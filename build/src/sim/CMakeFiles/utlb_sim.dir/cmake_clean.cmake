@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/utlb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/utlb_sim.dir/log.cpp.o"
+  "CMakeFiles/utlb_sim.dir/log.cpp.o.d"
+  "CMakeFiles/utlb_sim.dir/stats.cpp.o"
+  "CMakeFiles/utlb_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/utlb_sim.dir/table.cpp.o"
+  "CMakeFiles/utlb_sim.dir/table.cpp.o.d"
+  "libutlb_sim.a"
+  "libutlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_tlbsim.dir/simulator.cpp.o"
+  "CMakeFiles/utlb_tlbsim.dir/simulator.cpp.o.d"
+  "libutlb_tlbsim.a"
+  "libutlb_tlbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_tlbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/utlb_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/utlb_trace.dir/workloads.cpp.o"
+  "CMakeFiles/utlb_trace.dir/workloads.cpp.o.d"
+  "libutlb_trace.a"
+  "libutlb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

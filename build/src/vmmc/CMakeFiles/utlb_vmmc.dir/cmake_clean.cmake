@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_vmmc.dir/node.cpp.o"
+  "CMakeFiles/utlb_vmmc.dir/node.cpp.o.d"
+  "CMakeFiles/utlb_vmmc.dir/reliable.cpp.o"
+  "CMakeFiles/utlb_vmmc.dir/reliable.cpp.o.d"
+  "CMakeFiles/utlb_vmmc.dir/system.cpp.o"
+  "CMakeFiles/utlb_vmmc.dir/system.cpp.o.d"
+  "libutlb_vmmc.a"
+  "libutlb_vmmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_vmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

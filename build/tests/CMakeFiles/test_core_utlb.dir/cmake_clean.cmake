@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_utlb.dir/test_core_utlb.cpp.o"
+  "CMakeFiles/test_core_utlb.dir/test_core_utlb.cpp.o.d"
+  "test_core_utlb"
+  "test_core_utlb.pdb"
+  "test_core_utlb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_utlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcache.dir/test_rcache.cpp.o"
+  "CMakeFiles/test_rcache.dir/test_rcache.cpp.o.d"
+  "test_rcache"
+  "test_rcache.pdb"
+  "test_rcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlbsim.dir/test_tlbsim.cpp.o"
+  "CMakeFiles/test_tlbsim.dir/test_tlbsim.cpp.o.d"
+  "test_tlbsim"
+  "test_tlbsim.pdb"
+  "test_tlbsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
