@@ -1,0 +1,65 @@
+#!/bin/sh
+# Full correctness sweep: sanitizer build + tests, a self-checking
+# simulator run, clang-tidy, and a format lint of changed files.
+# Stages whose tools are missing are skipped with a notice; every
+# stage that runs must pass. Usage: scripts/check.sh [build-dir]
+set -e
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-check}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+skip() { printf 'SKIP: %s\n' "$*"; }
+
+# --- Stage 1: build under ASan+UBSan at full check level ------------
+step "sanitizer build (address,undefined; UTLB_CHECK_LEVEL=full)"
+cmake -B "$BUILD" -G Ninja \
+    -DUTLB_SANITIZE=address,undefined \
+    -DUTLB_CHECK_LEVEL=full \
+    -DUTLB_WERROR=ON > /dev/null
+cmake --build "$BUILD"
+
+# --- Stage 2: the whole test suite under the sanitizers -------------
+step "ctest under sanitizers"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+# --- Stage 3: a self-auditing simulator run -------------------------
+# Periodic invariant sweeps over the live translation stack; any
+# violation aborts (and the sanitizers watch the whole replay).
+step "tlbsim --audit-every sweep"
+"$BUILD"/src/tlbsim/tlbsim water --entries 1024 --memlimit 512 \
+    --audit-every 500 > /dev/null
+"$BUILD"/src/tlbsim/tlbsim --synthetic hotcold --entries 256 \
+    --memlimit 128 --audit-every 250 > /dev/null
+echo "audit sweeps clean"
+
+# --- Stage 4: clang-tidy --------------------------------------------
+step "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+        run-clang-tidy -p "$BUILD" -quiet "src/.*\.cpp$"
+    else
+        find src -name '*.cpp' -print0 \
+            | xargs -0 clang-tidy -p "$BUILD" --quiet
+    fi
+else
+    skip "clang-tidy not installed"
+fi
+
+# --- Stage 5: format lint of changed files --------------------------
+# Only files touched relative to HEAD (plus untracked sources) are
+# checked; the tree is never mass-reformatted.
+step "clang-format lint (changed files only)"
+if command -v clang-format > /dev/null 2>&1; then
+    CHANGED=$( { git diff --name-only HEAD; \
+                 git ls-files --others --exclude-standard; } \
+               | grep -E '\.(cpp|hpp)$' | sort -u || true)
+    if [ -z "$CHANGED" ]; then
+        echo "no changed C++ files"
+    else
+        echo "$CHANGED" | xargs clang-format --dry-run -Werror
+    fi
+else
+    skip "clang-format not installed"
+fi
+
+printf '\nAll checks passed.\n'

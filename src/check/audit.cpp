@@ -1,0 +1,83 @@
+#include "check/audit.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace utlb::check {
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (len <= 0)
+        return {};
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+} // namespace
+
+std::size_t
+AuditReport::countFor(const std::string &component) const
+{
+    std::size_t n = 0;
+    for (const AuditIssue &issue : issues) {
+        if (issue.component == component)
+            ++n;
+    }
+    return n;
+}
+
+void
+AuditReport::component(std::string name, std::uint64_t pid)
+{
+    curComponent = std::move(name);
+    curPid = pid;
+    ++numAuditors;
+}
+
+void
+AuditReport::addf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    issues.push_back(AuditIssue{curComponent, vformat(fmt, ap), curPid});
+    va_end(ap);
+}
+
+void
+AuditReport::require(bool ok, const char *fmt, ...)
+{
+    if (ok)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    issues.push_back(AuditIssue{curComponent, vformat(fmt, ap), curPid});
+    va_end(ap);
+}
+
+std::string
+AuditReport::summary() const
+{
+    std::string out;
+    for (const AuditIssue &issue : issues) {
+        out += issue.component;
+        if (issue.pid != kNoAuditPid) {
+            out += "[pid ";
+            out += std::to_string(issue.pid);
+            out += "]";
+        }
+        out += ": ";
+        out += issue.detail;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace utlb::check

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Invariant-audit framework.
+ *
+ * An auditor is a method `audit(check::AuditReport &) const` on a
+ * load-bearing structure that re-derives the structure's redundant
+ * state from first principles and reports every disagreement. Unlike
+ * UTLB_ASSERT (which aborts at the corruption site), auditors only
+ * *collect* violations, so:
+ *
+ *  - tests can deliberately corrupt a structure and assert the
+ *    auditor catches it (tests/test_invariants.cpp);
+ *  - the tlbsim simulator can sweep all auditors every N lookups
+ *    (--audit-every) and abort with a full list of violations.
+ *
+ * Auditors are expected to be O(structure size); they are *not* for
+ * hot paths. Hot-path preconditions belong in UTLB_ASSERT.
+ */
+
+#ifndef UTLB_CHECK_AUDIT_HPP
+#define UTLB_CHECK_AUDIT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace utlb::check {
+
+/** One invariant violation found by an auditor. */
+struct AuditIssue {
+    std::string component;  //!< auditor that found it
+    std::string detail;     //!< human-readable description
+    std::uint64_t pid;      //!< owning process, or kNoAuditPid
+};
+
+/** Sentinel for issues not tied to one process. */
+inline constexpr std::uint64_t kNoAuditPid = ~std::uint64_t{0};
+
+/**
+ * Collector passed through a sweep of auditors.
+ *
+ * Usage: each auditor calls component() once to name itself, then
+ * require()/addf() for every invariant it re-derives.
+ */
+class AuditReport
+{
+  public:
+    /** True if no auditor reported a violation. */
+    bool ok() const { return issues.empty(); }
+
+    /** All collected violations. */
+    const std::vector<AuditIssue> &all() const { return issues; }
+
+    /** Violations attributed to @p component. */
+    std::size_t countFor(const std::string &component) const;
+
+    /** Number of auditors that ran (component() calls). */
+    std::size_t auditorsRun() const { return numAuditors; }
+
+    /** Begin a component's audit; sets the attribution label. */
+    void component(std::string name, std::uint64_t pid = kNoAuditPid);
+
+    /** Record a violation under the current component. */
+    void addf(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Record a violation iff @p ok is false. */
+    void require(bool ok, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** Render every issue as one line each. */
+    std::string summary() const;
+
+  private:
+    std::vector<AuditIssue> issues;
+    std::string curComponent = "(unnamed)";
+    std::uint64_t curPid = kNoAuditPid;
+    std::size_t numAuditors = 0;
+};
+
+} // namespace utlb::check
+
+#endif // UTLB_CHECK_AUDIT_HPP

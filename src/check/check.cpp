@@ -1,0 +1,133 @@
+#include "check/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace utlb::check {
+
+namespace {
+
+std::function<std::uint64_t()> &
+timeSource()
+{
+    static std::function<std::uint64_t()> src;
+    return src;
+}
+
+std::function<void(const Failure &)> &
+failureHandler()
+{
+    static std::function<void(const Failure &)> handler;
+    return handler;
+}
+
+thread_local const char *curComponent = nullptr;
+thread_local std::uint64_t curPid = kNoPid;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (len <= 0)
+        return {};
+    std::vector<char> buf(static_cast<std::size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<std::size_t>(len));
+}
+
+void
+printFailure(const Failure &f)
+{
+    std::fprintf(stderr, "UTLB check failed: %s\n", f.expr);
+    if (!f.message.empty())
+        std::fprintf(stderr, "  detail:    %s\n", f.message.c_str());
+    std::fprintf(stderr, "  location:  %s:%d\n", f.file, f.line);
+    std::fprintf(stderr, "  component: %s\n",
+                 f.component.empty() ? "(none)" : f.component.c_str());
+    if (f.pid != kNoPid)
+        std::fprintf(stderr, "  process:   %llu\n",
+                     static_cast<unsigned long long>(f.pid));
+    if (f.hasTime)
+        std::fprintf(stderr, "  sim time:  %llu ticks\n",
+                     static_cast<unsigned long long>(f.time));
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+setTimeSource(std::function<std::uint64_t()> source)
+{
+    timeSource() = std::move(source);
+}
+
+void
+setFailureHandler(std::function<void(const Failure &)> handler)
+{
+    failureHandler() = std::move(handler);
+}
+
+ScopedContext::ScopedContext(const char *component, std::uint64_t pid)
+    : prevComponent(curComponent), prevPid(curPid)
+{
+    curComponent = component;
+    curPid = pid;
+}
+
+ScopedContext::~ScopedContext()
+{
+    curComponent = prevComponent;
+    curPid = prevPid;
+}
+
+namespace {
+
+[[noreturn]] void
+failWithMessage(const char *expr, const char *file, int line,
+                std::string message)
+{
+    Failure f;
+    f.expr = expr;
+    f.file = file;
+    f.line = line;
+    f.message = std::move(message);
+    f.component = curComponent ? curComponent : "";
+    f.pid = curPid;
+    f.hasTime = static_cast<bool>(timeSource());
+    f.time = f.hasTime ? timeSource()() : 0;
+
+    if (failureHandler()) {
+        failureHandler()(f);
+        // A handler that returns (instead of throwing/exiting) must
+        // not let execution continue past a failed precondition.
+    } else {
+        printFailure(f);
+    }
+    std::abort();
+}
+
+} // namespace
+
+void
+failCheck(const char *expr, const char *file, int line,
+          const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string message = vformat(fmt, ap);
+    va_end(ap);
+    failWithMessage(expr, file, line, std::move(message));
+}
+
+void
+failCheck(const char *expr, const char *file, int line)
+{
+    failWithMessage(expr, file, line, {});
+}
+
+} // namespace utlb::check

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Leveled runtime assertion macros and the structured failure
+ * handler.
+ *
+ * Check levels (selected at compile time with -DUTLB_CHECK_LEVEL):
+ *
+ *   0 (off)   — both macros compile to nothing;
+ *   1 (cheap) — UTLB_ASSERT is live: O(1) preconditions on hot paths;
+ *   2 (full)  — UTLB_INVARIANT is also live: whole-structure scans
+ *               and cross-structure consistency sweeps.
+ *
+ * The CMake cache variable UTLB_CHECK_LEVEL (off/cheap/full, default
+ * cheap) sets the macro for the whole tree.
+ *
+ * On failure the handler prints a structured diagnostic — the failing
+ * expression, file:line, and whatever context has been registered
+ * (component name, process id, and the event-queue time source) —
+ * then aborts, so a debugger or a sanitizer run stops at the exact
+ * corruption site. Tests that deliberately trip assertions can
+ * install a throwing handler with setFailureHandler().
+ */
+
+#ifndef UTLB_CHECK_CHECK_HPP
+#define UTLB_CHECK_CHECK_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#ifndef UTLB_CHECK_LEVEL
+#define UTLB_CHECK_LEVEL 1
+#endif
+
+namespace utlb::check {
+
+/** Everything the failure handler knows about a failed check. */
+struct Failure {
+    const char *expr;       //!< the asserted expression, verbatim
+    const char *file;
+    int line;
+    std::string message;    //!< formatted user message (may be empty)
+    std::string component;  //!< innermost ScopedContext component
+    std::uint64_t pid;      //!< process id from context (or ~0)
+    std::uint64_t time;     //!< event-queue time (or 0 if no source)
+    bool hasTime;           //!< a time source was registered
+};
+
+/** Sentinel pid for "no process in context". */
+inline constexpr std::uint64_t kNoPid = ~std::uint64_t{0};
+
+/**
+ * Register the simulation clock so failure reports carry the
+ * event-queue time. Pass nullptr to unregister.
+ */
+void setTimeSource(std::function<std::uint64_t()> source);
+
+/**
+ * Replace the default print-and-abort failure handler (tests use a
+ * throwing handler to observe deliberate violations). Pass nullptr
+ * to restore the default. If a custom handler returns, the process
+ * aborts anyway: a failed UTLB_ASSERT must not fall through into
+ * code whose preconditions no longer hold.
+ */
+void setFailureHandler(std::function<void(const Failure &)> handler);
+
+/**
+ * RAII context describing what the current code is operating on;
+ * nested scopes shadow outer ones. The innermost component/pid is
+ * reported by the failure handler.
+ */
+class ScopedContext
+{
+  public:
+    explicit ScopedContext(const char *component,
+                           std::uint64_t pid = kNoPid);
+    ~ScopedContext();
+
+    ScopedContext(const ScopedContext &) = delete;
+    ScopedContext &operator=(const ScopedContext &) = delete;
+
+  private:
+    const char *prevComponent;
+    std::uint64_t prevPid;
+};
+
+/** [internal] Invoked by the macros; never returns. */
+[[noreturn]] void failCheck(const char *expr, const char *file,
+                            int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** [internal] Message-less overload for bare UTLB_ASSERT(cond). */
+[[noreturn]] void failCheck(const char *expr, const char *file,
+                            int line);
+
+} // namespace utlb::check
+
+/**
+ * UTLB_ASSERT(cond, ...) — cheap precondition, live at check level
+ * >= 1. Optional printf-style message after the condition.
+ */
+#if UTLB_CHECK_LEVEL >= 1
+#define UTLB_ASSERT(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::utlb::check::failCheck(#cond, __FILE__,                 \
+                                     __LINE__ __VA_OPT__(, )          \
+                                     __VA_ARGS__);                    \
+        }                                                             \
+    } while (0)
+#else
+#define UTLB_ASSERT(cond, ...) do { } while (0)
+#endif
+
+/**
+ * UTLB_INVARIANT(cond, ...) — expensive whole-structure invariant,
+ * live only at check level 2 (full).
+ */
+#if UTLB_CHECK_LEVEL >= 2
+#define UTLB_INVARIANT(cond, ...)                                     \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::utlb::check::failCheck(#cond, __FILE__,                 \
+                                     __LINE__ __VA_OPT__(, )          \
+                                     __VA_ARGS__);                    \
+        }                                                             \
+    } while (0)
+#else
+#define UTLB_INVARIANT(cond, ...) do { } while (0)
+#endif
+
+#endif // UTLB_CHECK_CHECK_HPP

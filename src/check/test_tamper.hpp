@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Fault-injection backdoor for the invariant tests.
+ *
+ * Audited structures declare `friend struct check::TestTamper;`. The
+ * struct itself is only *defined* by tests/test_invariants.cpp, whose
+ * static member functions corrupt private state so the test can
+ * prove each auditor detects the corruption. Production code never
+ * defines it, so this grants no access outside the test binary.
+ */
+
+#ifndef UTLB_CHECK_TEST_TAMPER_HPP
+#define UTLB_CHECK_TEST_TAMPER_HPP
+
+namespace utlb::check {
+
+struct TestTamper;
+
+} // namespace utlb::check
+
+#endif // UTLB_CHECK_TEST_TAMPER_HPP

@@ -1,5 +1,8 @@
 #include "core/bitvector.hpp"
 
+#include <bit>
+
+#include "check/audit.hpp"
 #include "core/cost_model.hpp"
 
 namespace utlb::core {
@@ -89,6 +92,31 @@ PinBitVector::checkRange(mem::Vpn start, std::size_t npages) const
     else
         res.cost = costs().checkCostMax(scanned_pages ? scanned_pages : 1);
     return res;
+}
+
+void
+PinBitVector::forEachSet(const std::function<void(mem::Vpn)> &fn) const
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+            unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+            fn(static_cast<mem::Vpn>(w * 64 + bit));
+            word &= word - 1;
+        }
+    }
+}
+
+void
+PinBitVector::audit(check::AuditReport &report) const
+{
+    report.component("bitvector");
+    std::size_t popcount = 0;
+    for (std::uint64_t word : words)
+        popcount += static_cast<std::size_t>(std::popcount(word));
+    report.require(popcount == numSet,
+                   "cached set-bit count %zu != recounted %zu",
+                   numSet, popcount);
 }
 
 } // namespace utlb::core

@@ -14,11 +14,17 @@
 #define UTLB_CORE_BITVECTOR_HPP
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "check/test_tamper.hpp"
 #include "mem/page.hpp"
 #include "sim/types.hpp"
+
+namespace utlb::check {
+class AuditReport;
+} // namespace utlb::check
 
 namespace utlb::core {
 
@@ -68,7 +74,18 @@ class PinBitVector
     /** Bytes of user memory consumed by the bitmap. */
     std::size_t footprintBytes() const { return words.size() * 8; }
 
+    /** Visit every set bit in ascending page order. */
+    void forEachSet(const std::function<void(mem::Vpn)> &fn) const;
+
+    /**
+     * Invariant auditor: recounts the population from the raw words
+     * and reports any disagreement with the cached count().
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     bool wordPresent(std::uint64_t w) const { return w < words.size(); }
     void ensure(std::uint64_t word_index);
 

@@ -1,5 +1,6 @@
 #include "core/driver.hpp"
 
+#include "check/audit.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -201,6 +202,30 @@ UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
     }
     res.cost = hostCosts->unpinCost(1);
     return res;
+}
+
+void
+UtlbDriver::audit(check::AuditReport &report) const
+{
+    report.component("driver");
+    report.require(hostMem->isAllocated(garbagePfn),
+                   "garbage frame %llu is not allocated",
+                   static_cast<unsigned long long>(garbagePfn));
+    report.require(hostMem->ownerOf(garbagePfn) == kKernelPid,
+                   "garbage frame %llu not owned by the kernel",
+                   static_cast<unsigned long long>(garbagePfn));
+    for (const auto &[pid, space] : spaces) {
+        report.require(space->pid() == pid,
+                       "space registered under pid %u reports pid %u",
+                       pid, space->pid());
+        report.require(tables.count(pid) == 1,
+                       "registered pid %u has no host page table", pid);
+    }
+    for (const auto &[pid, table] : tables)
+        table->audit(report);
+    for (const auto &[pid, table] : nicTables)
+        table->audit(report);
+    pins->audit(report);
 }
 
 } // namespace utlb::core

@@ -63,6 +63,9 @@ class UtlbDriver
     /** The always-pinned garbage frame (§4.2). */
     mem::Pfn garbageFrame() const { return garbagePfn; }
 
+    /** The kernel pin facility this driver fronts. */
+    const mem::PinFacility &pinFacility() const { return *pins; }
+
     /**
      * Register a process: creates its host-resident page table and
      * registers its address space with the pinning facility.
@@ -125,6 +128,13 @@ class UtlbDriver
     std::uint64_t pagesPinned() const { return numPagesPinned; }
     std::uint64_t pagesUnpinned() const { return numPagesUnpinned; }
     /** @} */
+
+    /**
+     * Invariant auditor: sweeps the garbage page, every registered
+     * process' host page table, every NIC-resident table, and the
+     * pin facility itself.
+     */
+    void audit(check::AuditReport &report) const;
 
   private:
     mem::PhysMemory *hostMem;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/audit.hpp"
+#include "check/check.hpp"
+#include "core/driver.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -49,6 +52,12 @@ PinManager::evictOne(EnsureResult &res)
         [this](Vpn vpn) { return !isLocked(vpn); });
     if (!victim)
         return false;
+    // The policy only tracks pages this manager pinned; a victim the
+    // bit vector does not know about means the two structures have
+    // diverged.
+    UTLB_ASSERT(bits.test(*victim),
+                "eviction victim %llu is not marked pinned",
+                static_cast<unsigned long long>(*victim));
 
     // Unpin one page at a time (§6.5).
     IoctlResult io = driver->ioctlUnpinAndInvalidate(procId, *victim, 1);
@@ -122,6 +131,12 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
 
     res.checkMiss = true;
     ++numCheckMisses;
+    UTLB_ASSERT(check.firstUnpinned >= start
+                    && check.firstUnpinned < start + npages,
+                "checkRange reported first unpinned page %llu outside "
+                "[%llu, +%zu)",
+                static_cast<unsigned long long>(check.firstUnpinned),
+                static_cast<unsigned long long>(start), npages);
 
     // The request's own pages must never be chosen as eviction
     // victims while we pin the rest of it (§3.1's rule generalized:
@@ -171,6 +186,47 @@ PinManager::releasePage(Vpn vpn)
     bits.clear(vpn);
     repl->onRemove(vpn);
     return true;
+}
+
+void
+PinManager::audit(check::AuditReport &report) const
+{
+    bits.audit(report);
+
+    report.component("pin-manager", procId);
+    if (cfg.memLimitPages != 0) {
+        report.require(bits.count() <= cfg.memLimitPages,
+                       "%zu pinned pages exceed the %zu-page budget",
+                       bits.count(), cfg.memLimitPages);
+    }
+
+    const mem::PinFacility &pins = driver->pinFacility();
+    bits.forEachSet([&](mem::Vpn vpn) {
+        report.require(pins.isPinned(procId, vpn),
+                       "page %llu marked pinned in the bit vector but "
+                       "not pinned in the kernel",
+                       static_cast<unsigned long long>(vpn));
+    });
+    // Other users of the facility (per-process tables, exports) may
+    // hold extra pins, but never fewer than the bit vector claims.
+    report.require(pins.pinnedPages(procId) >= bits.count(),
+                   "kernel holds %zu pinned pages but the bit vector "
+                   "claims %zu",
+                   pins.pinnedPages(procId), bits.count());
+
+    for (const auto &[vpn, refcount] : locks) {
+        report.require(refcount > 0,
+                       "outstanding-send lock on page %llu has a zero "
+                       "count",
+                       static_cast<unsigned long long>(vpn));
+        // §3.1: pages named in outstanding sends stay pinned until
+        // the send completes — in-flight DMA must never target an
+        // unpinned frame.
+        report.require(bits.test(vpn) && pins.isPinned(procId, vpn),
+                       "page %llu is locked for in-flight DMA but is "
+                       "not pinned",
+                       static_cast<unsigned long long>(vpn));
+    }
 }
 
 } // namespace utlb::core

@@ -116,7 +116,18 @@ class PinManager
     std::uint64_t totalEvictions() const { return numEvictions; }
     /** @} */
 
+    /**
+     * Invariant auditor: the bit vector's count agrees with its own
+     * words and with the library's pin budget, every page the library
+     * believes pinned is pinned in the kernel facility, and every
+     * outstanding-send lock covers a pinned page (no in-flight DMA
+     * may target an unpinned frame).
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     /**
      * Evict one victim page to free budget.
      * @return false if nothing is evictable.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -216,6 +217,47 @@ SharedUtlbCache::occupancyOf(ProcId pid) const
         lines.begin(), lines.end(), [pid](const Line &l) {
             return l.valid && l.pid == pid;
         }));
+}
+
+void
+SharedUtlbCache::audit(check::AuditReport &report) const
+{
+    report.component("shared-cache");
+    for (std::size_t set = 0; set < numSets; ++set) {
+        const Line *base = &lines[set * config.assoc];
+        for (unsigned w = 0; w < config.assoc; ++w) {
+            const Line &line = base[w];
+            if (!line.valid)
+                continue;
+            // Tag/process-offset integrity: a line must live in the
+            // set its (pid, vpn) hashes to, or lookups will silently
+            // miss it (cross-process aliasing shows up the same way).
+            std::size_t home = setIndex(line.pid, line.vpn);
+            report.require(home == set,
+                           "line (pid %u, vpn %llu) stored in set %zu "
+                           "but indexes to set %zu",
+                           line.pid,
+                           static_cast<unsigned long long>(line.vpn),
+                           set, home);
+            report.require(line.lastUse <= useClock,
+                           "line (pid %u, vpn %llu) LRU stamp %llu is "
+                           "ahead of the use clock %llu",
+                           line.pid,
+                           static_cast<unsigned long long>(line.vpn),
+                           static_cast<unsigned long long>(line.lastUse),
+                           static_cast<unsigned long long>(useClock));
+            for (unsigned w2 = w + 1; w2 < config.assoc; ++w2) {
+                const Line &dup = base[w2];
+                report.require(!dup.valid || dup.pid != line.pid
+                                   || dup.vpn != line.vpn,
+                               "duplicate (pid %u, vpn %llu) in ways "
+                               "%u and %u of set %zu",
+                               line.pid,
+                               static_cast<unsigned long long>(line.vpn),
+                               w, w2, set);
+            }
+        }
+    }
 }
 
 void

@@ -29,10 +29,15 @@
 #include <optional>
 #include <vector>
 
+#include "check/test_tamper.hpp"
 #include "mem/page.hpp"
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
 #include "sim/types.hpp"
+
+namespace utlb::check {
+class AuditReport;
+} // namespace utlb::check
 
 namespace utlb::core {
 
@@ -133,7 +138,16 @@ class SharedUtlbCache
     /** Reset counters (state untouched). */
     void resetStats();
 
+    /**
+     * Invariant auditor: every valid line indexes to the set it
+     * lives in, no (pid, vpn) pair occupies two ways, and no LRU
+     * stamp runs ahead of the use clock.
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     struct Line {
         bool valid = false;
         mem::ProcId pid = 0;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "check/audit.hpp"
+#include "check/check.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -68,6 +70,30 @@ bool
 NicTranslationTable::isValid(UtlbIndex index) const
 {
     return index < numEntries && entry(index) != garbagePfn;
+}
+
+void
+NicTranslationTable::audit(check::AuditReport &report) const
+{
+    report.component("nic-table", procId);
+    report.require(base + numEntries * 4 <= sram->capacity(),
+                   "table region [%u, +%zu slots) exceeds SRAM "
+                   "capacity %zu",
+                   base, numEntries, sram->capacity());
+    report.require(numValid <= numEntries,
+                   "valid count %zu exceeds table size %zu",
+                   numValid, numEntries);
+
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < numEntries; ++i) {
+        if (sram->readWord(base + static_cast<nic::SramAddr>(i * 4))
+            != garbagePfn) {
+            ++live;
+        }
+    }
+    report.require(live == numValid,
+                   "cached valid count %zu != SRAM recount %zu",
+                   numValid, live);
 }
 
 // ---------------------------------------------------------------------
@@ -261,6 +287,64 @@ HostPageTable::leafSwappedOut(Vpn vpn) const
 {
     auto it = dir.find(dirIndexOf(vpn));
     return it != dir.end() && it->second.swapped;
+}
+
+void
+HostPageTable::audit(check::AuditReport &report) const
+{
+    report.component("host-page-table", procId);
+
+    std::size_t live = 0;
+    for (const auto &[idx, de] : dir) {
+        if (de.swapped) {
+            report.require(de.leafFrame == mem::kInvalidPfn,
+                           "swapped leaf %llu still names frame %llu",
+                           static_cast<unsigned long long>(idx),
+                           static_cast<unsigned long long>(de.leafFrame));
+            report.require(de.diskBlock.size() == mem::kPageSize,
+                           "swapped leaf %llu disk block is %zu bytes, "
+                           "expected %zu",
+                           static_cast<unsigned long long>(idx),
+                           de.diskBlock.size(), mem::kPageSize);
+            // Count valid entries inside the swapped image too: swap
+            // must preserve the table contents bit-for-bit.
+            for (std::size_t off = 0; off + 8 <= de.diskBlock.size();
+                 off += 8) {
+                std::uint64_t word;
+                std::memcpy(&word, de.diskBlock.data() + off, 8);
+                if (word & kValidBit)
+                    ++live;
+            }
+            continue;
+        }
+        if (de.leafFrame == mem::kInvalidPfn) {
+            report.addf("resident leaf %llu has no frame",
+                        static_cast<unsigned long long>(idx));
+            continue;
+        }
+        report.require(hostMem->isAllocated(de.leafFrame),
+                       "leaf %llu frame %llu is not allocated",
+                       static_cast<unsigned long long>(idx),
+                       static_cast<unsigned long long>(de.leafFrame));
+        report.require(hostMem->ownerOf(de.leafFrame) == kKernelPid,
+                       "leaf %llu frame %llu not owned by the kernel",
+                       static_cast<unsigned long long>(idx),
+                       static_cast<unsigned long long>(de.leafFrame));
+        report.require(de.diskBlock.empty(),
+                       "resident leaf %llu still holds a disk block",
+                       static_cast<unsigned long long>(idx));
+        for (std::size_t e = 0; e < kLeafEntries; ++e) {
+            std::uint8_t buf[8];
+            hostMem->read(mem::frameAddr(de.leafFrame) + e * 8, buf);
+            std::uint64_t word;
+            std::memcpy(&word, buf, 8);
+            if (word & kValidBit)
+                ++live;
+        }
+    }
+    report.require(live == numValid,
+                   "cached valid count %zu != leaf recount %zu",
+                   numValid, live);
 }
 
 } // namespace utlb::core

@@ -30,10 +30,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/test_tamper.hpp"
 #include "core/lookup_tree.hpp"
 #include "mem/page.hpp"
 #include "mem/phys_memory.hpp"
 #include "nic/sram.hpp"
+
+namespace utlb::check {
+class AuditReport;
+} // namespace utlb::check
 
 namespace utlb::core {
 
@@ -79,7 +84,15 @@ class NicTranslationTable
     /** Count of non-garbage slots. */
     std::size_t validEntries() const { return numValid; }
 
+    /**
+     * Invariant auditor: recounts non-garbage slots straight from
+     * SRAM and checks the table's region stays within the board.
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     nic::Sram *sram;
     mem::ProcId procId;
     std::size_t numEntries;
@@ -174,7 +187,16 @@ class HostPageTable
 
     /** @} */
 
+    /**
+     * Invariant auditor: every resident leaf is an allocated
+     * kernel-owned frame, every swapped leaf carries a full disk
+     * block, and the valid-entry count matches a recount over both.
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     struct DirEntry {
         bool swapped = false;
         mem::Pfn leafFrame = mem::kInvalidPfn;  //!< valid if !swapped

@@ -1,5 +1,6 @@
 #include "mem/pinning.hpp"
 
+#include "check/audit.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::mem {
@@ -187,6 +188,31 @@ PinFacility::pinnedFrame(ProcId pid, Vpn vpn) const
     if (!p || !p->refs.count(vpn))
         return std::nullopt;
     return p->space->lookup(vpn);
+}
+
+void
+PinFacility::audit(check::AuditReport &report) const
+{
+    for (const auto &[pid, p] : procs) {
+        report.component("pin-facility", pid);
+        report.require(p.space != nullptr,
+                       "registered process has no address space");
+        // No refs.size() <= limit check here: setPinLimit() allows
+        // lowering the limit below the current count, so that state
+        // is legal. Budget overflow is PinManager::audit's job (its
+        // budget is fixed at construction).
+        for (const auto &[vpn, refcount] : p.refs) {
+            report.require(refcount > 0,
+                           "page %llu carries a zero pin refcount",
+                           static_cast<unsigned long long>(vpn));
+            if (!p.space)
+                continue;
+            auto pfn = p.space->lookup(vpn);
+            report.require(pfn.has_value(),
+                           "pinned page %llu has no mapping",
+                           static_cast<unsigned long long>(vpn));
+        }
+    }
 }
 
 } // namespace utlb::mem

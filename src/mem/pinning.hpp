@@ -20,8 +20,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/test_tamper.hpp"
 #include "mem/address_space.hpp"
 #include "mem/page.hpp"
+
+namespace utlb::check {
+class AuditReport;
+} // namespace utlb::check
 
 namespace utlb::mem {
 
@@ -108,7 +113,16 @@ class PinFacility
     std::uint64_t totalFailedPins() const { return numFailedPins; }
     /** @} */
 
+    /**
+     * Invariant auditor: every pin reference is positive, no process
+     * exceeds its pin limit, and every pinned page has a stable
+     * mapping to an allocated frame (the facility's core guarantee).
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     struct ProcState {
         AddressSpace *space = nullptr;
         std::size_t limit = 0;  //!< pages; 0 = unlimited

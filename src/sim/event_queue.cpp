@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/audit.hpp"
+#include "check/check.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::sim {
@@ -47,6 +49,12 @@ EventQueue::step()
     // Copy out before pop: the callback may schedule new events.
     Entry e = heap.top();
     heap.pop();
+    UTLB_ASSERT(e.when >= curTick,
+                "event %llu fires at %llu, before the current tick "
+                "%llu",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<unsigned long long>(e.when),
+                static_cast<unsigned long long>(curTick));
     curTick = e.when;
     ++numFired;
     e.fn();
@@ -58,6 +66,35 @@ EventQueue::clear()
 {
     while (!heap.empty())
         heap.pop();
+}
+
+void
+EventQueue::audit(check::AuditReport &report) const
+{
+    report.component("event-queue");
+    if (!heap.empty()) {
+        const Entry &next = heap.top();
+        report.require(next.when >= curTick,
+                       "next event (seq %llu) is scheduled at %llu, "
+                       "in the past of tick %llu",
+                       static_cast<unsigned long long>(next.seq),
+                       static_cast<unsigned long long>(next.when),
+                       static_cast<unsigned long long>(curTick));
+        report.require(next.seq < nextSeq,
+                       "pending event carries sequence %llu >= the "
+                       "allocator's next %llu",
+                       static_cast<unsigned long long>(next.seq),
+                       static_cast<unsigned long long>(nextSeq));
+    }
+    // Every sequence number ever handed out was either fired,
+    // dropped by clear(), or is still pending; fired + pending can
+    // never exceed the total handed out.
+    report.require(numFired + heap.size() <= nextSeq,
+                   "%llu fired + %zu pending events exceed the %llu "
+                   "sequence numbers ever issued",
+                   static_cast<unsigned long long>(numFired),
+                   heap.size(),
+                   static_cast<unsigned long long>(nextSeq));
 }
 
 } // namespace utlb::sim

@@ -17,7 +17,12 @@
 #include <queue>
 #include <vector>
 
+#include "check/test_tamper.hpp"
 #include "sim/types.hpp"
+
+namespace utlb::check {
+class AuditReport;
+} // namespace utlb::check
 
 namespace utlb::sim {
 
@@ -79,7 +84,16 @@ class EventQueue
     /** Drop all pending events (does not rewind the clock). */
     void clear();
 
+    /**
+     * Invariant auditor: time monotonicity — no pending event may be
+     * older than the current tick, and the sequence/fired counters
+     * must be mutually consistent.
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
+    friend struct check::TestTamper;
+
     struct Entry {
         Tick when;
         std::uint64_t seq;

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * tlbsim: trace-driven simulator CLI with periodic self-checking.
+ *
+ * Thin front end over simulateUtlb()/simulateIntr() for a single
+ * configuration (the sweep tool is examples/trace_analysis). Its
+ * distinguishing flag is --audit-every N, which runs the invariant
+ * auditors over the whole translation stack every N lookups and
+ * aborts with a structured report on the first violation — the
+ * simulator equivalent of a debug kernel's periodic consistency
+ * sweep. See docs/checking.md.
+ *
+ * Usage:
+ *     tlbsim [workload] [--mode utlb|intr|both]
+ *            [--entries N] [--assoc N] [--no-offset]
+ *            [--prefetch N] [--memlimit PAGES] [--policy NAME]
+ *            [--prepin N] [--seed S] [--warmup N]
+ *            [--synthetic uniform|stream|hotcold]
+ *            [--audit-every N]
+ *
+ * Examples:
+ *     tlbsim radix --entries 4096 --audit-every 1000
+ *     tlbsim --synthetic hotcold --mode intr --audit-every 64
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/log.hpp"
+#include "sim/table.hpp"
+#include "tlbsim/simulator.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace utlb;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: tlbsim [workload] [options]\n"
+        "  workloads: fft lu barnes radix raytrace volrend water\n"
+        "  --mode M        utlb|intr|both (default both)\n"
+        "  --entries N     NIC cache entries (default 8192)\n"
+        "  --assoc N       associativity 1/2/4 (default 1)\n"
+        "  --no-offset     disable process index offsetting\n"
+        "  --prefetch N    entries fetched per miss (default 1)\n"
+        "  --memlimit P    per-process pin budget in pages\n"
+        "  --policy NAME   lru|mru|lfu|mfu|fifo|random\n"
+        "  --prepin N      sequential pre-pin batch (default 1)\n"
+        "  --seed S        RNG seed (default 12345)\n"
+        "  --warmup N      lookups excluded from statistics\n"
+        "  --synthetic K   micro-workload: uniform|stream|hotcold\n"
+        "  --audit-every N run the invariant auditors every N\n"
+        "                  lookups; abort on any violation (0 = "
+        "never)\n";
+}
+
+/** Print one run's statistics as a two-column table. */
+void
+report(const char *mech, const tlbsim::SimResult &r, bool utlb)
+{
+    sim::TextTable t(std::string(mech) + " simulation");
+    t.setHeader({"metric", "value"});
+    auto add = [&](const char *name, const std::string &val) {
+        t.addRow({name, val});
+    };
+    add("lookups", sim::TextTable::num(r.lookups));
+    add("probes", sim::TextTable::num(r.probes));
+    if (utlb)
+        add("check misses / lookup",
+            sim::TextTable::num(r.checkMissPerLookup(), 4));
+    add("NI misses / lookup",
+        sim::TextTable::num(r.niMissPerLookup(), 4));
+    add("unpins / lookup", sim::TextTable::num(r.unpinsPerLookup(), 4));
+    add("probe miss rate", sim::TextTable::num(r.probeMissRate(), 4));
+    add("avg lookup cost (us)",
+        sim::TextTable::num(r.avgLookupCostUs(), 2));
+    add("amortized pin (us)",
+        sim::TextTable::num(r.amortizedPinUs(), 2));
+    add("amortized unpin (us)",
+        sim::TextTable::num(r.amortizedUnpinUs(), 2));
+    add("compulsory misses", sim::TextTable::num(r.compulsoryMisses));
+    add("capacity misses", sim::TextTable::num(r.capacityMisses));
+    add("conflict misses", sim::TextTable::num(r.conflictMisses));
+    if (!utlb)
+        add("interrupts", sim::TextTable::num(r.interrupts));
+    add("invariant audits", sim::TextTable::num(r.audits));
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "radix";
+    std::string synthetic;
+    std::string mode = "both";
+    tlbsim::SimConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--mode") {
+            mode = next();
+        } else if (arg == "--entries") {
+            cfg.cache.entries = std::stoul(next());
+        } else if (arg == "--assoc") {
+            cfg.cache.assoc = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--no-offset") {
+            cfg.cache.indexOffsetting = false;
+        } else if (arg == "--prefetch") {
+            cfg.prefetchEntries = std::stoul(next());
+        } else if (arg == "--memlimit") {
+            cfg.memLimitPages = std::stoul(next());
+        } else if (arg == "--policy") {
+            cfg.policy = core::policyFromName(next());
+        } else if (arg == "--prepin") {
+            cfg.prepinPages = std::stoul(next());
+        } else if (arg == "--seed") {
+            cfg.seed = std::stoull(next());
+        } else if (arg == "--warmup") {
+            cfg.warmupLookups = std::stoul(next());
+        } else if (arg == "--synthetic") {
+            synthetic = next();
+        } else if (arg == "--audit-every") {
+            cfg.auditEvery = std::stoul(next());
+        } else if (!arg.empty() && arg[0] != '-') {
+            workload = arg;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (mode != "utlb" && mode != "intr" && mode != "both")
+        sim::fatal("unknown --mode %s", mode.c_str());
+
+    trace::Trace tr = synthetic.empty()
+        ? trace::generateTrace(workload, cfg.seed)
+        : trace::generateSynthetic(synthetic, trace::SyntheticSpec{},
+                                   cfg.seed);
+
+    auto shape = trace::measure(tr);
+    std::cout << "trace: " << shape.lookups << " lookups, "
+              << shape.distinctPages << " distinct pages, "
+              << shape.processes << " processes\n";
+    if (cfg.auditEvery != 0)
+        std::cout << "auditing every " << cfg.auditEvery
+                  << " lookups\n";
+    std::cout << "\n";
+
+    if (mode == "utlb" || mode == "both")
+        report("UTLB", tlbsim::simulateUtlb(tr, cfg), true);
+    if (mode == "intr" || mode == "both")
+        report("Intr", tlbsim::simulateIntr(tr, cfg), false);
+    return 0;
+}

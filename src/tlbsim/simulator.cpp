@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "core/cost_model.hpp"
 #include "core/driver.hpp"
 #include "core/interrupt_baseline.hpp"
@@ -85,6 +86,17 @@ class MissClassifier
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         index;
 };
+
+/** Abort the run if an audit sweep found violations. */
+void
+dieOnViolations(const check::AuditReport &report, std::uint64_t lookup)
+{
+    if (report.ok())
+        return;
+    sim::panic("invariant audit failed after %llu lookups:\n%s",
+               static_cast<unsigned long long>(lookup),
+               report.summary().c_str());
+}
 
 /** Frames needed to replay a trace without running out of DRAM. */
 std::size_t
@@ -197,6 +209,18 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
         }
         if (warm && any_miss)
             ++res.niMissLookups;
+
+        if (cfg.auditEvery != 0 && seen % cfg.auditEvery == 0) {
+            // Periodic self-check (--audit-every): re-derive every
+            // structure's redundant state and abort on disagreement.
+            check::AuditReport report;
+            cache.audit(report);
+            driver.audit(report);
+            for (const auto &[pid, p] : procs)
+                p.utlb->pinManager().audit(report);
+            dieOnViolations(report, seen);
+            ++res.audits;
+        }
     }
     return res;
 }
@@ -271,6 +295,14 @@ simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
         }
         if (warm && any_miss)
             ++res.niMissLookups;
+
+        if (cfg.auditEvery != 0 && seen % cfg.auditEvery == 0) {
+            check::AuditReport report;
+            cache.audit(report);
+            pins.audit(report);
+            dieOnViolations(report, seen);
+            ++res.audits;
+        }
     }
     return res;
 }

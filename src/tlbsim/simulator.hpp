@@ -58,6 +58,13 @@ struct SimConfig {
 
     /** Host machine the cost model describes. */
     core::HostProfile hostProfile = core::HostProfile::PentiumIINT;
+
+    /**
+     * Run the invariant auditors over the whole translation stack
+     * every N lookups (0 = never). A violation aborts the run with
+     * the full list of findings; see docs/checking.md.
+     */
+    std::size_t auditEvery = 0;
 };
 
 /** Statistics of one simulation run. */
@@ -82,6 +89,8 @@ struct SimResult {
     std::uint64_t compulsoryMisses = 0;
     std::uint64_t capacityMisses = 0;
     std::uint64_t conflictMisses = 0;
+
+    std::uint64_t audits = 0;  //!< invariant sweeps run (all clean)
 
     /** Table 4/5 "check misses" row: per lookup. */
     double checkMissPerLookup() const

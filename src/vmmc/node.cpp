@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "check/audit.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::vmmc {
@@ -556,6 +557,61 @@ VmmcNode::printStats(std::ostream &os) const
        << "link.duplicatesDropped    " << link.duplicatesDropped()
        << '\n'
        << "link.acksSent             " << link.acksSent() << '\n';
+}
+
+void
+VmmcNode::audit(check::AuditReport &report) const
+{
+    // Lower layers first: driver (host tables, NIC tables, pin
+    // facility), the shared cache, the per-process pin managers.
+    utlbDriver.audit(report);
+    cache.audit(report);
+    for (const auto &[pid, p] : procs)
+        p.utlb->pinManager().audit(report);
+
+    report.component("vmmc-node", nodeId);
+    for (std::size_t id = 0; id < exports.size(); ++id) {
+        const ExportEntry &e = exports[id];
+        if (!e.live)
+            continue;
+        report.require(procs.count(e.pid) == 1,
+                       "export %zu belongs to unknown process %u", id,
+                       e.pid);
+        if (config.mode != XlateMode::Utlb || procs.count(e.pid) == 0)
+            continue;
+        const core::PinManager &mgr =
+            procs.at(e.pid).utlb->pinManager();
+        mem::Vpn start = pageOf(e.va);
+        std::size_t npages = pagesSpanned(e.va, e.bytes);
+        for (std::size_t i = 0; i < npages; ++i) {
+            // A live export is a standing DMA target: its pages must
+            // stay pinned and locked until it is withdrawn (§2/§4.1),
+            // or an incoming transfer lands on a reclaimed frame.
+            report.require(pins.isPinned(e.pid, start + i),
+                           "export %zu page %llu is a DMA target but "
+                           "is not pinned",
+                           id,
+                           static_cast<unsigned long long>(start + i));
+            report.require(mgr.isLocked(start + i),
+                           "export %zu page %llu is not locked "
+                           "against eviction",
+                           id,
+                           static_cast<unsigned long long>(start + i));
+        }
+        // Redirect targets are deliberately not checked: redirect()
+        // pins on demand but takes no eviction lock, and the NIC
+        // fault path re-pins if the target was evicted (§4.1).
+    }
+    for (const auto &[key, progress] : depositProgress) {
+        ExportId id = std::get<0>(key);
+        report.require(id < exports.size() && exports[id].live,
+                       "in-flight transfer targets dead export %u",
+                       id);
+        report.require(progress > 0,
+                       "in-flight transfer to export %u recorded "
+                       "zero bytes",
+                       id);
+    }
 }
 
 void

@@ -218,6 +218,15 @@ class VmmcNode
 
     /** @} */
 
+    /**
+     * Invariant auditor: sweeps the node's whole translation stack
+     * (driver, pin facility, NIC cache, per-process pin managers)
+     * and the VMMC layer itself — every live export and every
+     * transfer still depositing must target pinned pages, so no
+     * in-flight DMA can ever land on an unpinned frame.
+     */
+    void audit(check::AuditReport &report) const;
+
   private:
     struct ProcState {
         std::unique_ptr<mem::AddressSpace> space;

@@ -1,5 +1,7 @@
 #include "vmmc/system.hpp"
 
+#include "check/check.hpp"
+
 namespace utlb::vmmc {
 
 Cluster::Cluster(const ClusterConfig &cfg)
@@ -7,12 +9,29 @@ Cluster::Cluster(const ClusterConfig &cfg)
           net::NetworkConfig{cfg.nodes, cfg.lossProbability, true,
                              cfg.seed})
 {
+    // Failed UTLB_ASSERTs anywhere in the stack report this
+    // cluster's event-queue time in their diagnostics.
+    check::setTimeSource([this] { return events.now(); });
     nodeList.reserve(cfg.nodes);
     for (std::size_t i = 0; i < cfg.nodes; ++i) {
         nodeList.push_back(std::make_unique<VmmcNode>(
             static_cast<net::NodeId>(i), net, events, nicTimings,
             cfg.node));
     }
+}
+
+Cluster::~Cluster()
+{
+    check::setTimeSource(nullptr);
+}
+
+/** Audit every node in the cluster plus the shared event queue. */
+void
+Cluster::audit(check::AuditReport &report) const
+{
+    events.audit(report);
+    for (const auto &node : nodeList)
+        node->audit(report);
 }
 
 } // namespace utlb::vmmc

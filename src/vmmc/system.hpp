@@ -34,6 +34,14 @@ class Cluster
   public:
     explicit Cluster(const ClusterConfig &cfg = {});
 
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** Run every node's invariant auditor plus the event queue's. */
+    void audit(check::AuditReport &report) const;
+
     std::size_t size() const { return nodeList.size(); }
     VmmcNode &node(net::NodeId id) { return *nodeList.at(id); }
     sim::EventQueue &clock() { return events; }
