@@ -13,11 +13,16 @@
 #define UTLB_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/json.hpp"
 #include "sim/table.hpp"
 #include "tlbsim/simulator.hpp"
 #include "trace/workloads.hpp"
@@ -60,6 +65,98 @@ class TraceSet
 
   private:
     std::map<std::string, utlb::trace::Trace> traces;
+};
+
+/**
+ * Machine-readable results sink for the bench harnesses.
+ *
+ * A binary constructs one reporter and records one point per
+ * (configuration, workload) cell it prints; the points are written
+ * as a "utlb-bench-v1" JSON document to BENCH_<name>.json in the
+ * current directory — or under $UTLB_BENCH_JSON_DIR when set — so
+ * CI and plotting scripts can collect every harness's numbers
+ * without scraping the text tables.
+ */
+class JsonReporter
+{
+  public:
+    explicit JsonReporter(std::string bench) : benchName(std::move(bench))
+    {}
+
+    JsonReporter(const JsonReporter &) = delete;
+    JsonReporter &operator=(const JsonReporter &) = delete;
+
+    ~JsonReporter() { write(); }
+
+    /**
+     * Record one data point: @p labels identify the cell (workload,
+     * cache size, ...), @p metrics carry its numbers.
+     */
+    void
+    add(std::initializer_list<std::pair<const char *, std::string>>
+            labels,
+        std::initializer_list<std::pair<const char *, double>> metrics)
+    {
+        Point p;
+        p.labels.assign(labels.begin(), labels.end());
+        p.metrics.assign(metrics.begin(), metrics.end());
+        points.push_back(std::move(p));
+    }
+
+    /** Where the document will be (or was) written. */
+    std::string
+    path() const
+    {
+        const char *dir = std::getenv("UTLB_BENCH_JSON_DIR");
+        return std::string(dir ? dir : ".") + "/BENCH_" + benchName
+            + ".json";
+    }
+
+    /** Write the document now (the destructor calls this too). */
+    void
+    write()
+    {
+        if (written)
+            return;
+        written = true;
+        std::string file = path();
+        std::ofstream ofs(file);
+        if (!ofs) {
+            std::cerr << "bench: cannot write " << file << "\n";
+            return;
+        }
+        utlb::sim::JsonWriter w(ofs);
+        w.beginObject();
+        w.field("schema", "utlb-bench-v1");
+        w.field("bench", benchName);
+        w.beginArray("points");
+        for (const auto &p : points) {
+            w.beginObject();
+            w.beginObject("labels");
+            for (const auto &[k, v] : p.labels)
+                w.field(k, v);
+            w.endObject();
+            w.beginObject("metrics");
+            for (const auto &[k, v] : p.metrics)
+                w.field(k, v);
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        ofs << '\n';
+        std::cout << "\n[bench json: " << file << "]\n";
+    }
+
+  private:
+    struct Point {
+        std::vector<std::pair<const char *, std::string>> labels;
+        std::vector<std::pair<const char *, double>> metrics;
+    };
+
+    std::string benchName;
+    std::vector<Point> points;
+    bool written = false;
 };
 
 /** Names of all workloads, paper order. */

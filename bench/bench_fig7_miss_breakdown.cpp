@@ -32,6 +32,7 @@ main()
     utlb::sim::TextTable t;
     t.setHeader({"App", "Cache", "Miss%", "Compulsory%", "Capacity%",
                  "Conflict%", "Bar"});
+    JsonReporter json("fig7_miss_breakdown");
 
     for (const auto &n : names) {
         bool first = true;
@@ -53,6 +54,11 @@ main()
             t.addRow({first ? n : "", sizeLabel(entries),
                       rate(100.0 * res.probeMissRate()),
                       rate(comp), rate(cap), rate(conf), bar});
+            json.add({{"app", n}, {"cache", sizeLabel(entries)}},
+                     {{"miss_pct", 100.0 * res.probeMissRate()},
+                      {"compulsory_pct", comp},
+                      {"capacity_pct", cap},
+                      {"conflict_pct", conf}});
             first = false;
         }
         t.addRule();

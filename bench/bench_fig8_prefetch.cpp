@@ -33,6 +33,7 @@ main()
         header.push_back(sizeLabel(e) + " entries");
     miss_t.setHeader(header);
     cost_t.setHeader(header);
+    JsonReporter json("fig8_prefetch");
 
     for (std::size_t pf : prefetch) {
         std::vector<std::string> miss_row{
@@ -43,6 +44,11 @@ main()
             cfg.cache = {entries, 1, true};
             cfg.prefetchEntries = pf;
             auto res = simulateUtlb(trace, cfg);
+            json.add({{"series", "no_prepin"},
+                      {"cache", sizeLabel(entries)},
+                      {"prefetch", std::to_string(pf)}},
+                     {{"miss_rate", res.probeMissRate()},
+                      {"avg_probe_cost_us", res.avgProbeCostUs()}});
             miss_row.push_back(rate(res.probeMissRate()));
             cost_row.push_back(rate(res.avgProbeCostUs()));
         }
@@ -78,6 +84,11 @@ main()
             cfg.prefetchEntries = pf;
             cfg.prepinPages = 16;
             auto res = simulateUtlb(trace, cfg);
+            json.add({{"series", "prepin16"},
+                      {"cache", sizeLabel(entries)},
+                      {"prefetch", std::to_string(pf)}},
+                     {{"miss_rate", res.probeMissRate()},
+                      {"avg_probe_cost_us", res.avgProbeCostUs()}});
             miss_row.push_back(rate(res.probeMissRate()));
             cost_row.push_back(rate(res.avgProbeCostUs()));
         }

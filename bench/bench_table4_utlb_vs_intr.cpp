@@ -29,6 +29,7 @@ main()
         header.push_back(n + ".Intr");
     }
     t.setHeader(header);
+    JsonReporter json("table4_utlb_vs_intr");
 
     for (std::size_t entries : kCacheSizes) {
         SimConfig cfg;
@@ -45,6 +46,16 @@ main()
         std::vector<std::string> miss{"", "NI misses"};
         std::vector<std::string> unpin{"", "unpins"};
         for (std::size_t k = 0; k < names.size(); ++k) {
+            json.add({{"app", names[k]}, {"cache", sizeLabel(entries)},
+                      {"mechanism", "utlb"}},
+                     {{"check_miss_per_lookup",
+                       u[k].checkMissPerLookup()},
+                      {"ni_miss_per_lookup", u[k].niMissPerLookup()},
+                      {"unpins_per_lookup", u[k].unpinsPerLookup()}});
+            json.add({{"app", names[k]}, {"cache", sizeLabel(entries)},
+                      {"mechanism", "intr"}},
+                     {{"ni_miss_per_lookup", i[k].niMissPerLookup()},
+                      {"unpins_per_lookup", i[k].unpinsPerLookup()}});
             check.push_back(rate(u[k].checkMissPerLookup()));
             check.push_back("-");
             miss.push_back(rate(u[k].niMissPerLookup()));

@@ -38,6 +38,7 @@ main()
         "memory, no prefetch, offsetting) [paper values in brackets]");
     t.setHeader({"Cache", "barnes.UTLB", "barnes.Intr", "fft.UTLB",
                  "fft.Intr"});
+    JsonReporter json("table6_lookup_cost");
 
     for (std::size_t entries : sizes) {
         SimConfig cfg;
@@ -47,6 +48,11 @@ main()
             auto u = simulateUtlb(traces.get(app), cfg);
             auto i = simulateIntr(traces.get(app), cfg);
             auto p = paper.at({app, entries});
+            json.add({{"app", app}, {"cache", sizeLabel(entries)}},
+                     {{"utlb_us", u.avgLookupCostUs()},
+                      {"intr_us", i.avgLookupCostUs()},
+                      {"paper_utlb_us", p.first},
+                      {"paper_intr_us", p.second}});
             row.push_back(rate(u.avgLookupCostUs()) + " ["
                           + utlb::sim::TextTable::num(p.first, 1)
                           + "]");

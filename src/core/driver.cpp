@@ -38,14 +38,17 @@ UtlbDriver::registerProcess(mem::AddressSpace &space)
         panic("process %u registered with the driver twice", pid);
     pins->registerSpace(space);
     spaces.emplace(pid, &space);
-    tables.emplace(pid,
-                   std::make_unique<HostPageTable>(*hostMem, pid, sram));
+    auto it = tables.emplace(
+        pid, std::make_unique<HostPageTable>(*hostMem, pid, sram));
+    statsGrp.adopt(it.first->second->stats());
 }
 
 void
 UtlbDriver::unregisterProcess(ProcId pid)
 {
     nicCache->invalidateProcess(pid);
+    if (auto it = tables.find(pid); it != tables.end())
+        statsGrp.disown(it->second->stats());
     tables.erase(pid);
     nicTables.erase(pid);
     spaces.erase(pid);
@@ -70,14 +73,14 @@ UtlbDriver::pageTable(ProcId pid)
 IoctlResult
 UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
 {
-    ++numIoctls;
+    ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return res;
+        return record(res);
     }
     if (npages == 0)
-        return res;
+        return record(res);
 
     PinStatus st = PinStatus::Ok;
     auto frames = pins->pinRange(pid, start, npages, &st);
@@ -86,7 +89,7 @@ UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
         // A rejected ioctl still costs the syscall entry; charge the
         // one-page pin floor as a conservative model.
         res.cost = hostCosts->pinCost(1);
-        return res;
+        return record(res);
     }
 
     HostPageTable &table = pageTable(pid);
@@ -100,25 +103,25 @@ UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
                 pins->unpinPage(pid, start + j);
             res.status = PinStatus::OutOfMemory;
             res.cost = hostCosts->pinCost(1);
-            return res;
+            return record(res);
         }
     }
 
-    numPagesPinned += npages;
+    statPagesPinned += npages;
     res.pagesDone = npages;
     res.cost = hostCosts->pinCost(npages);
-    return res;
+    return record(res);
 }
 
 IoctlResult
 UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
                                     std::size_t npages)
 {
-    ++numIoctls;
+    ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return res;
+        return record(res);
     }
 
     HostPageTable &table = pageTable(pid);
@@ -134,9 +137,9 @@ UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
         }
         ++res.pagesDone;
     }
-    numPagesUnpinned += res.pagesDone;
+    statPagesUnpinned += res.pagesDone;
     res.cost = hostCosts->unpinCost(res.pagesDone ? res.pagesDone : 1);
-    return res;
+    return record(res);
 }
 
 NicTranslationTable &
@@ -164,11 +167,11 @@ UtlbDriver::nicTable(ProcId pid)
 IoctlResult
 UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
-    ++numIoctls;
+    ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return res;
+        return record(res);
     }
 
     PinStatus st = PinStatus::Ok;
@@ -176,32 +179,32 @@ UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
     if (!frame) {
         res.status = st;
         res.cost = hostCosts->pinCost(1);
-        return res;
+        return record(res);
     }
     nicTable(pid).install(index, *frame);
-    ++numPagesPinned;
+    ++statPagesPinned;
     res.pagesDone = 1;
     res.cost = hostCosts->pinCost(1);
-    return res;
+    return record(res);
 }
 
 IoctlResult
 UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
-    ++numIoctls;
+    ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return res;
+        return record(res);
     }
     res.status = pins->unpinPage(pid, vpn);
     if (res.status == PinStatus::Ok) {
         nicTable(pid).invalidate(index);
-        ++numPagesUnpinned;
+        ++statPagesUnpinned;
         res.pagesDone = 1;
     }
     res.cost = hostCosts->unpinCost(1);
-    return res;
+    return record(res);
 }
 
 void

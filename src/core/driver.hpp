@@ -29,6 +29,7 @@
 #include "mem/phys_memory.hpp"
 #include "mem/pinning.hpp"
 #include "nic/sram.hpp"
+#include "sim/stats.hpp"
 
 namespace utlb::core {
 
@@ -124,10 +125,20 @@ class UtlbDriver
                                 UtlbIndex index);
 
     /** @name Lifetime counters @{ */
-    std::uint64_t ioctlCalls() const { return numIoctls; }
-    std::uint64_t pagesPinned() const { return numPagesPinned; }
-    std::uint64_t pagesUnpinned() const { return numPagesUnpinned; }
+    std::uint64_t ioctlCalls() const { return statIoctls.value(); }
+    std::uint64_t pagesPinned() const
+    {
+        return statPagesPinned.value();
+    }
+    std::uint64_t pagesUnpinned() const
+    {
+        return statPagesUnpinned.value();
+    }
     /** @} */
+
+    /** The driver's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
     /**
      * Invariant auditor: sweeps the garbage page, every registered
@@ -137,6 +148,15 @@ class UtlbDriver
     void audit(check::AuditReport &report) const;
 
   private:
+    /** Record an ioctl's outcome in the stats before returning it. */
+    IoctlResult record(IoctlResult res)
+    {
+        statIoctlLatency.sample(sim::ticksToUs(res.cost));
+        if (res.status != mem::PinStatus::Ok)
+            ++statIoctlRejects;
+        return res;
+    }
+
     mem::PhysMemory *hostMem;
     mem::PinFacility *pins;
     nic::Sram *sram;
@@ -150,9 +170,20 @@ class UtlbDriver
                        std::unique_ptr<NicTranslationTable>> nicTables;
     std::unordered_map<mem::ProcId, mem::AddressSpace *> spaces;
 
-    std::uint64_t numIoctls = 0;
-    std::uint64_t numPagesPinned = 0;
-    std::uint64_t numPagesUnpinned = 0;
+    sim::StatGroup statsGrp{"driver"};
+    sim::Counter statIoctls{&statsGrp, "ioctl_calls",
+                            "ioctl invocations (all four entry "
+                            "points)"};
+    sim::Counter statIoctlRejects{&statsGrp, "ioctl_rejects",
+                                  "ioctls that returned a non-Ok "
+                                  "status"};
+    sim::Counter statPagesPinned{&statsGrp, "pages_pinned",
+                                 "pages pinned through ioctls"};
+    sim::Counter statPagesUnpinned{&statsGrp, "pages_unpinned",
+                                   "pages unpinned through ioctls"};
+    sim::Histogram statIoctlLatency{&statsGrp, "ioctl_latency_us",
+                                    "modeled cost per ioctl (Table 1 "
+                                    "batch curve)", 200.0, 40};
 };
 
 } // namespace utlb::core

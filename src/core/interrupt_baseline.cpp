@@ -16,14 +16,22 @@ InterruptTlb::unpinEvicted(const EvictedEntry &ev, IntrLookup &out)
     pins->unpinPage(ev.pid, ev.vpn);
     out.cost += costs->kernelUnpinCost();
     ++out.unpins;
-    ++numUnpins;
+    ++statUnpins;
 }
 
 IntrLookup
 InterruptTlb::translate(ProcId pid, Vpn vpn)
 {
+    IntrLookup out = translateImpl(pid, vpn);
+    statLookupLatency.sample(sim::ticksToUs(out.cost));
+    return out;
+}
+
+IntrLookup
+InterruptTlb::translateImpl(ProcId pid, Vpn vpn)
+{
     IntrLookup out;
-    ++numLookups;
+    ++statLookups;
 
     CacheProbe probe = nicCache->lookup(pid, vpn);
     out.cost += probe.cost;
@@ -35,8 +43,8 @@ InterruptTlb::translate(ProcId pid, Vpn vpn)
     // Miss: interrupt the host; the handler pins the page and
     // installs the translation.
     out.miss = true;
-    ++numMisses;
-    ++numInterrupts;
+    ++statMisses;
+    ++statInterrupts;
     out.cost += costs->interruptCost();
 
     std::optional<mem::Pfn> frame;

@@ -27,6 +27,7 @@
 #include "core/shared_cache.hpp"
 #include "mem/pinning.hpp"
 #include "nic/timing.hpp"
+#include "sim/stats.hpp"
 
 namespace utlb::core {
 
@@ -60,13 +61,19 @@ class InterruptTlb
     IntrLookup translate(mem::ProcId pid, mem::Vpn vpn);
 
     /** @name Lifetime counters @{ */
-    std::uint64_t lookups() const { return numLookups; }
-    std::uint64_t misses() const { return numMisses; }
-    std::uint64_t interrupts() const { return numInterrupts; }
-    std::uint64_t unpins() const { return numUnpins; }
+    std::uint64_t lookups() const { return statLookups.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+    std::uint64_t interrupts() const { return statInterrupts.value(); }
+    std::uint64_t unpins() const { return statUnpins.value(); }
     /** @} */
 
+    /** This baseline's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
+
   private:
+    IntrLookup translateImpl(mem::ProcId pid, mem::Vpn vpn);
+
     /** Unpin the page behind an evicted cache entry. */
     void unpinEvicted(const EvictedEntry &ev, IntrLookup &out);
 
@@ -75,10 +82,18 @@ class InterruptTlb
     const HostCosts *costs;
     const nic::NicTimings *nicTimings;
 
-    std::uint64_t numLookups = 0;
-    std::uint64_t numMisses = 0;
-    std::uint64_t numInterrupts = 0;
-    std::uint64_t numUnpins = 0;
+    sim::StatGroup statsGrp{"interrupt_tlb"};
+    sim::Counter statLookups{&statsGrp, "lookups",
+                             "translations requested"};
+    sim::Counter statMisses{&statsGrp, "misses",
+                            "NIC cache misses"};
+    sim::Counter statInterrupts{&statsGrp, "interrupts",
+                                "host interrupts raised"};
+    sim::Counter statUnpins{&statsGrp, "unpins",
+                            "eviction-driven unpins"};
+    sim::Histogram statLookupLatency{&statsGrp, "lookup_latency_us",
+                                     "modeled per-page translation "
+                                     "latency", 100.0, 25};
 };
 
 } // namespace utlb::core

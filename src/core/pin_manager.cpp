@@ -48,10 +48,13 @@ PinManager::isLocked(Vpn vpn) const
 bool
 PinManager::evictOne(EnsureResult &res)
 {
+    ++statPolicyVictims;
     auto victim = repl->victim(
         [this](Vpn vpn) { return !isLocked(vpn); });
-    if (!victim)
+    if (!victim) {
+        ++statPolicyVictimFails;
         return false;
+    }
     // The policy only tracks pages this manager pinned; a victim the
     // bit vector does not know about means the two structures have
     // diverged.
@@ -73,7 +76,7 @@ PinManager::evictOne(EnsureResult &res)
     bits.clear(*victim);
     repl->onRemove(*victim);
     res.pagesUnpinned += 1;
-    ++numEvictions;
+    ++statEvictions;
     return true;
 }
 
@@ -100,6 +103,7 @@ PinManager::pinRun(Vpn start, std::size_t npages, EnsureResult &res)
                 repl->onInsert(start + i);
             }
             res.pagesPinned += npages;
+            statPagesPinned += npages;
             return true;
         }
         if (io.status == PinStatus::LimitExceeded
@@ -118,19 +122,22 @@ EnsureResult
 PinManager::ensurePinned(Vpn start, std::size_t npages)
 {
     EnsureResult res;
-    ++numChecks;
+    ++statChecks;
 
     CheckResult check = bits.checkRange(start, npages);
     res.cost += check.cost;
 
     if (check.allPinned) {
-        for (std::size_t i = 0; i < npages; ++i)
+        for (std::size_t i = 0; i < npages; ++i) {
             repl->onAccess(start + i);
+            ++statPolicyAccesses;
+        }
+        statEnsureLatency.sample(sim::ticksToUs(res.cost));
         return res;
     }
 
     res.checkMiss = true;
-    ++numCheckMisses;
+    ++statCheckMisses;
     UTLB_ASSERT(check.firstUnpinned >= start
                     && check.firstUnpinned < start + npages,
                 "checkRange reported first unpinned page %llu outside "
@@ -148,6 +155,7 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
     while (i < npages) {
         if (bits.test(start + i)) {
             repl->onAccess(start + i);
+            ++statPolicyAccesses;
             ++i;
             continue;
         }
@@ -163,6 +171,7 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
         if (!pinRun(start + i, run, res)) {
             res.ok = false;
             unlockRange(start, npages);
+            statEnsureLatency.sample(sim::ticksToUs(res.cost));
             return res;
         }
         i += run;
@@ -170,8 +179,11 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
     unlockRange(start, npages);
 
     // Touch all requested pages for recency/frequency accounting.
-    for (std::size_t j = 0; j < npages; ++j)
+    for (std::size_t j = 0; j < npages; ++j) {
         repl->onAccess(start + j);
+        ++statPolicyAccesses;
+    }
+    statEnsureLatency.sample(sim::ticksToUs(res.cost));
     return res;
 }
 

@@ -27,6 +27,7 @@
 #include "core/driver.hpp"
 #include "core/replacement.hpp"
 #include "mem/page.hpp"
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace utlb::core {
@@ -111,10 +112,20 @@ class PinManager
     const ReplacementPolicy &policy() const { return *repl; }
 
     /** @name Lifetime counters @{ */
-    std::uint64_t totalChecks() const { return numChecks; }
-    std::uint64_t totalCheckMisses() const { return numCheckMisses; }
-    std::uint64_t totalEvictions() const { return numEvictions; }
+    std::uint64_t totalChecks() const { return statChecks.value(); }
+    std::uint64_t totalCheckMisses() const
+    {
+        return statCheckMisses.value();
+    }
+    std::uint64_t totalEvictions() const
+    {
+        return statEvictions.value();
+    }
     /** @} */
+
+    /** This manager's statistics subtree (policy group nested). */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
     /**
      * Invariant auditor: the bit vector's count agrees with its own
@@ -144,9 +155,30 @@ class PinManager
     std::unique_ptr<ReplacementPolicy> repl;
     std::unordered_map<mem::Vpn, std::uint32_t> locks;
 
-    std::uint64_t numChecks = 0;
-    std::uint64_t numCheckMisses = 0;
-    std::uint64_t numEvictions = 0;
+    sim::StatGroup statsGrp{"pin_manager"};
+    sim::Counter statChecks{&statsGrp, "checks",
+                            "bit-vector range checks (one per "
+                            "ensurePinned call)"};
+    sim::Counter statCheckMisses{&statsGrp, "check_misses",
+                                 "checks that found an unpinned page"};
+    sim::Counter statEvictions{&statsGrp, "evictions",
+                               "pages unpinned to free budget"};
+    sim::Counter statPagesPinned{&statsGrp, "pages_pinned",
+                                 "pages pinned (incl. pre-pins)"};
+    sim::Histogram statEnsureLatency{
+        &statsGrp, "ensure_latency_us",
+        "modeled host-side cost per ensurePinned call", 50.0, 40};
+
+    // Replacement-policy traffic, kept outside the ReplacementPolicy
+    // interface so external policy implementations need no changes.
+    sim::StatGroup statsPolicy{"policy", &statsGrp};
+    sim::Counter statPolicyAccesses{&statsPolicy, "accesses",
+                                    "onAccess notifications"};
+    sim::Counter statPolicyVictims{&statsPolicy, "victim_requests",
+                                   "victim selections requested"};
+    sim::Counter statPolicyVictimFails{&statsPolicy, "victim_failures",
+                                       "victim requests with no "
+                                       "evictable page"};
 };
 
 } // namespace utlb::core

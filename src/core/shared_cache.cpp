@@ -94,13 +94,14 @@ SharedUtlbCache::lookup(ProcId pid, Vpn vpn)
     // perWayProbeCost.
     probe.cost = timings->cacheHitCost
         + Tick{probes > 0 ? probes - 1 : 0} * timings->perWayProbeCost;
+    statProbeLatency.sample(sim::ticksToUs(probe.cost));
     if (line) {
         probe.hit = true;
         probe.pfn = line->pfn;
         line->lastUse = ++useClock;
-        ++numHits;
+        ++statHits;
     } else {
-        ++numMisses;
+        ++statMisses;
     }
     return probe;
 }
@@ -114,19 +115,34 @@ SharedUtlbCache::peek(ProcId pid, Vpn vpn) const
     return line->pfn;
 }
 
-std::optional<EvictedEntry>
-SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn)
+void
+SharedUtlbCache::killLine(Line &line)
 {
-    ++numInserts;
+    // A dead line must not retain a recency stamp: the next insert
+    // reuses the way with a fresh stamp, and the audit relies on
+    // invalid lines being fully scrubbed.
+    line.valid = false;
+    line.lastUse = 0;
+}
+
+std::optional<EvictedEntry>
+SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
+{
+    ++statInserts;
     std::size_t set = setIndex(pid, vpn);
     Line *base = &lines[set * config.assoc];
 
-    // Re-insert over an existing entry (refresh).
+    // Re-insert over an existing entry (refresh). A prefetch refresh
+    // updates the translation but not the recency: the NIC never
+    // referenced this page, so promoting it would pollute the LRU
+    // order of the set (§6.4).
     for (unsigned w = 0; w < config.assoc; ++w) {
         Line &line = base[w];
         if (line.valid && line.pid == pid && line.vpn == vpn) {
             line.pfn = pfn;
-            line.lastUse = ++useClock;
+            if (mode == InsertMode::Demand)
+                line.lastUse = ++useClock;
+            ++statRefreshes;
             return std::nullopt;
         }
     }
@@ -148,7 +164,7 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn)
     }
     EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
     *victim = Line{true, pid, vpn, pfn, ++useClock};
-    ++numEvictions;
+    ++statEvictions;
     return out;
 }
 
@@ -158,8 +174,8 @@ SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
     Line *line = findLine(pid, vpn, nullptr);
     if (!line)
         return false;
-    line->valid = false;
-    ++numInvalidations;
+    killLine(*line);
+    ++statInvalidations;
     return true;
 }
 
@@ -176,8 +192,8 @@ SharedUtlbCache::evictLruOfProcess(ProcId pid)
     if (!victim)
         return std::nullopt;
     EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
-    victim->valid = false;
-    ++numEvictions;
+    killLine(*victim);
+    ++statSheds;
     return out;
 }
 
@@ -187,19 +203,23 @@ SharedUtlbCache::invalidateProcess(ProcId pid)
     std::size_t count = 0;
     for (Line &line : lines) {
         if (line.valid && line.pid == pid) {
-            line.valid = false;
+            killLine(line);
             ++count;
         }
     }
-    numInvalidations += count;
+    statInvalidations += count;
     return count;
 }
 
 void
 SharedUtlbCache::clear()
 {
-    for (Line &line : lines)
-        line.valid = false;
+    for (Line &line : lines) {
+        if (line.valid) {
+            killLine(line);
+            ++statClearDrops;
+        }
+    }
 }
 
 std::size_t
@@ -227,8 +247,18 @@ SharedUtlbCache::audit(check::AuditReport &report) const
         const Line *base = &lines[set * config.assoc];
         for (unsigned w = 0; w < config.assoc; ++w) {
             const Line &line = base[w];
-            if (!line.valid)
+            if (!line.valid) {
+                // Dead lines must be fully scrubbed: a stale stamp
+                // would silently distort LRU if ever trusted, and
+                // signals a removal path that bypassed killLine().
+                report.require(line.lastUse == 0,
+                               "dead line in way %u of set %zu "
+                               "retains recency stamp %llu",
+                               w, set,
+                               static_cast<unsigned long long>(
+                                   line.lastUse));
                 continue;
+            }
             // Tag/process-offset integrity: a line must live in the
             // set its (pid, vpn) hashes to, or lookups will silently
             // miss it (cross-process aliasing shows up the same way).
@@ -258,13 +288,34 @@ SharedUtlbCache::audit(check::AuditReport &report) const
             }
         }
     }
+
+    // Removal-taxonomy conservation: every line present was installed
+    // by an insert that created it (insertions minus refreshes; a
+    // capacity eviction both removes and creates in one call), and
+    // every line gone left through exactly one of the three removal
+    // paths or a clear. Double-counting a shed as an eviction — the
+    // bug this split fixes — breaks the balance immediately.
+    auto created = static_cast<std::int64_t>(insertions())
+        - static_cast<std::int64_t>(refreshes());
+    auto removed = static_cast<std::int64_t>(evictions())
+        + static_cast<std::int64_t>(sheds())
+        + static_cast<std::int64_t>(invalidations())
+        + static_cast<std::int64_t>(statClearDrops.value());
+    auto expected = static_cast<std::int64_t>(statsBaseValid)
+        + created - removed;
+    report.require(static_cast<std::int64_t>(validEntries()) == expected,
+                   "occupancy %zu disagrees with counter taxonomy "
+                   "(base %zu + created %lld - removed %lld)",
+                   validEntries(), statsBaseValid,
+                   static_cast<long long>(created),
+                   static_cast<long long>(removed));
 }
 
 void
 SharedUtlbCache::resetStats()
 {
-    numHits = numMisses = numInserts = numEvictions = 0;
-    numInvalidations = 0;
+    statsGrp.resetAll();
+    statsBaseValid = validEntries();
 }
 
 } // namespace utlb::core

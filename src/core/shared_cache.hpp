@@ -33,6 +33,7 @@
 #include "mem/page.hpp"
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace utlb::check {
@@ -60,6 +61,20 @@ struct CacheProbe {
     bool hit = false;
     mem::Pfn pfn = mem::kInvalidPfn;
     sim::Tick cost = 0;
+};
+
+/**
+ * Why a translation is being installed (§6.4).
+ *
+ * Demand installs come from a real NIC reference and update the
+ * line's LRU stamp. Prefetch installs are speculative neighbours
+ * fetched alongside a miss: refreshing an already-resident line must
+ * NOT touch its recency (the NIC never referenced it), or prefetch
+ * traffic promotes dead lines over genuinely hot ones.
+ */
+enum class InsertMode {
+    Demand,    //!< a real reference; updates recency
+    Prefetch,  //!< speculative neighbour; no-touch on refresh
 };
 
 /**
@@ -94,20 +109,24 @@ class SharedUtlbCache
 
     /**
      * Install a translation, evicting the set's LRU entry if the
-     * set is full.
+     * set is full. Prefetch-mode refreshes leave the line's LRU
+     * stamp untouched (see InsertMode).
      * @return the displaced entry, if any.
      */
     std::optional<EvictedEntry>
-    insert(mem::ProcId pid, mem::Vpn vpn, mem::Pfn pfn);
+    insert(mem::ProcId pid, mem::Vpn vpn, mem::Pfn pfn,
+           InsertMode mode = InsertMode::Demand);
 
     /** Drop one translation. @return true if it was present. */
     bool invalidate(mem::ProcId pid, mem::Vpn vpn);
 
     /**
-     * Forcibly evict the least recently used entry belonging to
+     * Forcibly remove the least recently used entry belonging to
      * @p pid (used by the interrupt-based baseline when a pin limit
-     * forces it to shed a cached page).
-     * @return the evicted entry, or nullopt if the process caches
+     * forces it to shed a cached page). Counted as a shed, not a
+     * capacity eviction: the removal is demanded by the pin budget,
+     * not by cache pressure.
+     * @return the removed entry, or nullopt if the process caches
      *         nothing.
      */
     std::optional<EvictedEntry> evictLruOfProcess(mem::ProcId pid);
@@ -127,21 +146,44 @@ class SharedUtlbCache
     /** The set index (pid, vpn) maps to; exposed for tests. */
     std::size_t setIndex(mem::ProcId pid, mem::Vpn vpn) const;
 
-    /** @name Lifetime counters @{ */
-    std::uint64_t hits() const { return numHits; }
-    std::uint64_t misses() const { return numMisses; }
-    std::uint64_t insertions() const { return numInserts; }
-    std::uint64_t evictions() const { return numEvictions; }
-    std::uint64_t invalidations() const { return numInvalidations; }
+    /**
+     * @name Lifetime counters
+     *
+     * Removal taxonomy (the stats JSON relies on this split):
+     *  - evictions():     capacity displacements by insert() only;
+     *  - sheds():         forced per-process LRU removals via
+     *                     evictLruOfProcess() (pin-budget pressure);
+     *  - invalidations(): explicit coherence drops via invalidate()
+     *                     and invalidateProcess().
+     * @{
+     */
+    std::uint64_t hits() const { return statHits.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+    std::uint64_t insertions() const { return statInserts.value(); }
+    std::uint64_t refreshes() const { return statRefreshes.value(); }
+    std::uint64_t evictions() const { return statEvictions.value(); }
+    std::uint64_t sheds() const { return statSheds.value(); }
+    std::uint64_t invalidations() const
+    {
+        return statInvalidations.value();
+    }
     /** @} */
+
+    /** This cache's statistics subtree (for adoption into a root). */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
     /** Reset counters (state untouched). */
     void resetStats();
 
     /**
      * Invariant auditor: every valid line indexes to the set it
-     * lives in, no (pid, vpn) pair occupies two ways, and no LRU
-     * stamp runs ahead of the use clock.
+     * lives in, no (pid, vpn) pair occupies two ways, no LRU stamp
+     * runs ahead of the use clock, dead lines carry no recency
+     * stamp, and the removal counters' taxonomy balances against
+     * the current occupancy (lines present = lines installed minus
+     * lines evicted/shed/invalidated/cleared since the last stats
+     * reset).
      */
     void audit(check::AuditReport &report) const;
 
@@ -159,17 +201,40 @@ class SharedUtlbCache
     Line *findLine(mem::ProcId pid, mem::Vpn vpn, unsigned *probes);
     const Line *findLine(mem::ProcId pid, mem::Vpn vpn) const;
 
+    /** Invalidate a line, scrubbing its recency stamp. */
+    static void killLine(Line &line);
+
     CacheConfig config;
     const nic::NicTimings *timings;
     std::size_t numSets;
     std::vector<Line> lines;  //!< numSets * assoc, set-major
     std::uint64_t useClock = 0;
 
-    std::uint64_t numHits = 0;
-    std::uint64_t numMisses = 0;
-    std::uint64_t numInserts = 0;
-    std::uint64_t numEvictions = 0;
-    std::uint64_t numInvalidations = 0;
+    /** Valid entries at the last resetStats(), for the audit. */
+    std::size_t statsBaseValid = 0;
+
+    sim::StatGroup statsGrp{"shared_cache"};
+    sim::Counter statHits{&statsGrp, "hits", "probes that hit"};
+    sim::Counter statMisses{&statsGrp, "misses", "probes that missed"};
+    sim::Counter statInserts{&statsGrp, "insertions",
+                             "install requests (incl. refreshes)"};
+    sim::Counter statRefreshes{&statsGrp, "refreshes",
+                               "installs that hit a resident line"};
+    sim::Counter statEvictions{&statsGrp, "evictions",
+                               "capacity evictions (LRU displaced "
+                               "by insert)"};
+    sim::Counter statSheds{&statsGrp, "sheds",
+                           "forced per-process LRU removals "
+                           "(pin-budget shedding)"};
+    sim::Counter statInvalidations{&statsGrp, "invalidations",
+                                   "explicit coherence "
+                                   "invalidations"};
+    sim::Counter statClearDrops{&statsGrp, "clear_drops",
+                                "lines dropped by whole-cache "
+                                "clears"};
+    sim::Histogram statProbeLatency{&statsGrp, "probe_latency_us",
+                                    "modeled firmware probe cost",
+                                    4.0, 16};
 };
 
 } // namespace utlb::core

@@ -109,7 +109,8 @@ constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
 HostPageTable::HostPageTable(mem::PhysMemory &host_mem, mem::ProcId pid,
                              nic::Sram *board_sram,
                              std::size_t dir_slots)
-    : hostMem(&host_mem), procId(pid)
+    : hostMem(&host_mem), procId(pid),
+      statsGrp("host_table" + std::to_string(pid))
 {
     if (board_sram) {
         // The top-level directory lives in NIC SRAM (§3.3) so that a
@@ -186,6 +187,7 @@ HostPageTable::set(Vpn vpn, Pfn pfn)
         ++numValid;
 
     hostMem->write(entryAddr(de, vpn), buf);
+    ++statInstalls;
     return true;
 }
 
@@ -205,6 +207,7 @@ HostPageTable::clear(Vpn vpn)
     std::memcpy(buf, &word, 8);
     hostMem->write(entryAddr(*de, vpn), buf);
     --numValid;
+    ++statClears;
     return true;
 }
 
@@ -231,6 +234,7 @@ HostPageTable::readRun(Vpn vpn, std::size_t n) const
     if (!de)
         return out;
 
+    ++statRunReads;
     std::size_t in_leaf = kLeafEntries
         - static_cast<std::size_t>(vpn % kLeafEntries);
     std::size_t count = std::min(n, in_leaf);
@@ -259,7 +263,7 @@ HostPageTable::swapOutLeaf(Vpn vpn)
     hostMem->freeFrame(de->leafFrame);
     de->leafFrame = mem::kInvalidPfn;
     de->swapped = true;
-    ++numSwapOuts;
+    ++statSwapOuts;
     return true;
 }
 
@@ -278,7 +282,7 @@ HostPageTable::swapInLeaf(Vpn vpn)
     de.diskBlock.clear();
     de.diskBlock.shrink_to_fit();
     de.swapped = false;
-    ++numSwapIns;
+    ++statSwapIns;
     return true;
 }
 

@@ -35,6 +35,7 @@
 #include "mem/page.hpp"
 #include "mem/phys_memory.hpp"
 #include "nic/sram.hpp"
+#include "sim/stats.hpp"
 
 namespace utlb::check {
 class AuditReport;
@@ -180,12 +181,16 @@ class HostPageTable
     bool leafSwappedOut(mem::Vpn vpn) const;
 
     /** Total swap-out operations performed. */
-    std::uint64_t swapOuts() const { return numSwapOuts; }
+    std::uint64_t swapOuts() const { return statSwapOuts.value(); }
 
     /** Total swap-in operations performed. */
-    std::uint64_t swapIns() const { return numSwapIns; }
+    std::uint64_t swapIns() const { return statSwapIns.value(); }
 
     /** @} */
+
+    /** This table's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
     /**
      * Invariant auditor: every resident leaf is an allocated
@@ -217,8 +222,18 @@ class HostPageTable
     mem::ProcId procId;
     std::unordered_map<std::uint64_t, DirEntry> dir;
     std::size_t numValid = 0;
-    std::uint64_t numSwapOuts = 0;
-    std::uint64_t numSwapIns = 0;
+
+    sim::StatGroup statsGrp;
+    sim::Counter statInstalls{&statsGrp, "installs",
+                              "translations installed via set()"};
+    sim::Counter statClears{&statsGrp, "clears",
+                            "valid translations removed via clear()"};
+    mutable sim::Counter statRunReads{&statsGrp, "run_reads",
+                                      "readRun DMA fetches served"};
+    sim::Counter statSwapOuts{&statsGrp, "swap_outs",
+                              "leaf tables swapped out to disk"};
+    sim::Counter statSwapIns{&statsGrp, "swap_ins",
+                             "leaf tables brought back from disk"};
 };
 
 } // namespace utlb::core

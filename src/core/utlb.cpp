@@ -10,10 +10,12 @@ UserUtlb::UserUtlb(UtlbDriver &drv, SharedUtlbCache &cache,
                    const nic::NicTimings &t, mem::ProcId pid,
                    const UtlbConfig &config)
     : driver(&drv), nicCache(&cache), timings(&t), procId(pid),
-      cfg(config), pinMgr(drv, pid, config.pin)
+      cfg(config), pinMgr(drv, pid, config.pin),
+      statsGrp("proc" + std::to_string(pid))
 {
     if (cfg.prefetchEntries == 0)
         sim::fatal("prefetchEntries must be >= 1");
+    statsGrp.adopt(pinMgr.stats());
 }
 
 EnsureResult
@@ -29,15 +31,27 @@ UserUtlb::prepare(mem::VirtAddr va, std::size_t nbytes)
 NicLookup
 UserUtlb::nicTranslate(Vpn vpn)
 {
+    NicLookup out = nicTranslateImpl(vpn);
+    statTranslateLatency.sample(sim::ticksToUs(out.cost));
+    return out;
+}
+
+NicLookup
+UserUtlb::nicTranslateImpl(Vpn vpn)
+{
     NicLookup out;
     CacheProbe probe = nicCache->lookup(procId, vpn);
     out.cost += probe.cost;
+    if (tracer)
+        tracer->complete("cache.probe", "nic", procId, probe.cost,
+                         {{"vpn", vpn}, {"hit", probe.hit ? 1u : 0u}});
     if (probe.hit) {
         out.pfn = probe.pfn;
         return out;
     }
 
     out.miss = true;
+    ++statMisses;
     HostPageTable &table = driver->pageTable(procId);
     auto run = table.readRun(vpn, cfg.prefetchEntries);
 
@@ -46,29 +60,58 @@ UserUtlb::nicTranslate(Vpn vpn)
         // prepare() was bypassed. Fall back to interrupting the host
         // (§3.1), pinning on the NIC's behalf.
         out.fault = true;
-        ++numFaults;
-        out.cost += timings->interruptCost;
+        ++statFaults;
+        sim::Tick faultCost = timings->interruptCost;
         IoctlResult io = driver->ioctlPinAndInstall(procId, vpn, 1);
-        out.cost += io.cost;
+        faultCost += io.cost;
+        out.cost += faultCost;
+        if (tracer)
+            tracer->complete("pin.ioctl", "nic", procId, faultCost,
+                             {{"vpn", vpn},
+                              {"ok", io.status == mem::PinStatus::Ok
+                                         ? 1u
+                                         : 0u}});
         if (io.status != mem::PinStatus::Ok) {
             out.pfn = driver->garbageFrame();
             return out;
         }
-        run = table.readRun(vpn, cfg.prefetchEntries);
+        // The host pinned exactly one page for us; fetch that single
+        // repaired entry rather than re-charging a full prefetch-width
+        // DMA for neighbours we already know are absent.
+        run = table.readRun(vpn, 1);
     }
 
     // Install the missing entry plus any valid prefetched neighbours
     // ("in order for prefetching to work well, translations for
-    // contiguous application pages must be available", §6.4).
+    // contiguous application pages must be available", §6.4). Only
+    // run[0] answers a real reference; neighbours are speculative and
+    // must not perturb LRU order when they merely refresh a resident
+    // line.
     std::size_t installed = 0;
     for (std::size_t i = 0; i < run.size(); ++i) {
         if (!run[i])
             continue;
-        nicCache->insert(procId, vpn + i, *run[i]);
+        nicCache->insert(procId, vpn + i, *run[i],
+                         i == 0 ? InsertMode::Demand
+                                : InsertMode::Prefetch);
+        if (i != 0)
+            ++statPrefetchInstalls;
         ++installed;
     }
-    out.fetched = run.size();
-    out.cost += timings->missHandleCost(run.empty() ? 1 : run.size());
+    out.fetched = installed;
+    // An empty run means the table gave us nothing to DMA: charge the
+    // single directory reference that discovered that, not a
+    // full-width fetch of entries that were never transferred.
+    sim::Tick fetchCost = run.empty()
+        ? timings->directoryRefCost
+        : timings->missHandleCost(run.size());
+    out.cost += fetchCost;
+    if (tracer) {
+        tracer->complete("table.dma_read", "nic", procId, fetchCost,
+                         {{"vpn", vpn}, {"width", run.size()}});
+        tracer->instant("cache.install", "nic", procId,
+                        {{"vpn", vpn}, {"installed", installed}});
+    }
     if (installed == 0 || !run[0]) {
         out.pfn = driver->garbageFrame();
         return out;

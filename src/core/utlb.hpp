@@ -32,6 +32,8 @@
 #include "core/pin_manager.hpp"
 #include "core/shared_cache.hpp"
 #include "nic/timing.hpp"
+#include "sim/stats.hpp"
+#include "sim/tracer.hpp"
 
 namespace utlb::core {
 
@@ -52,7 +54,9 @@ struct NicLookup {
     sim::Tick cost = 0;
     bool miss = false;
     bool fault = false;       //!< host-table entry was invalid
-    std::size_t fetched = 0;  //!< entries DMAed on a miss
+    std::size_t fetched = 0;  //!< entries installed on a miss (valid
+                              //!< slots of the DMAed run, not its
+                              //!< raw width)
 };
 
 /** Full translation of a user buffer. */
@@ -100,16 +104,42 @@ class UserUtlb
     const PinManager &pinManager() const { return pinMgr; }
 
     /** NIC-side fault counter (unpinned page seen by the NIC). */
-    std::uint64_t nicFaults() const { return numFaults; }
+    std::uint64_t nicFaults() const { return statFaults.value(); }
+
+    /**
+     * Attach an event tracer; nicTranslate() then emits the miss
+     * path (cache probe -> table DMA read -> pin ioctl -> install)
+     * as Chrome trace events. Pass nullptr to detach.
+     */
+    void setTracer(sim::Tracer *t) { tracer = t; }
+
+    /** This process' statistics subtree (pin manager nested). */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
   private:
+    NicLookup nicTranslateImpl(mem::Vpn vpn);
+
     UtlbDriver *driver;
     SharedUtlbCache *nicCache;
     const nic::NicTimings *timings;
     mem::ProcId procId;
     UtlbConfig cfg;
     PinManager pinMgr;
-    std::uint64_t numFaults = 0;
+    sim::Tracer *tracer = nullptr;
+
+    sim::StatGroup statsGrp;
+    sim::Counter statMisses{&statsGrp, "nic_misses",
+                            "NIC cache misses seen by this process"};
+    sim::Counter statFaults{&statsGrp, "nic_faults",
+                            "unpinned host-table entries hit by the "
+                            "NIC (prepare() bypassed)"};
+    sim::Counter statPrefetchInstalls{&statsGrp, "prefetch_installs",
+                                      "speculative neighbour entries "
+                                      "installed alongside misses"};
+    sim::Histogram statTranslateLatency{
+        &statsGrp, "translate_latency_us",
+        "modeled per-page NIC translation latency", 50.0, 50};
 };
 
 } // namespace utlb::core

@@ -69,12 +69,12 @@ PinFacility::findProc(ProcId pid) const
 std::optional<Pfn>
 PinFacility::pinPage(ProcId pid, Vpn vpn, PinStatus *st)
 {
-    ++numPinOps;
+    ++statPinOps;
     auto set_st = [&](PinStatus s) { if (st) *st = s; };
 
     auto *p = findProc(pid);
     if (!p) {
-        ++numFailedPins;
+        ++statFailedPins;
         set_st(PinStatus::UnknownProcess);
         return std::nullopt;
     }
@@ -87,20 +87,20 @@ PinFacility::pinPage(ProcId pid, Vpn vpn, PinStatus *st)
     }
 
     if (p->limit != 0 && p->refs.size() >= p->limit) {
-        ++numFailedPins;
+        ++statFailedPins;
         set_st(PinStatus::LimitExceeded);
         return std::nullopt;
     }
 
     auto pfn = p->space->touch(vpn);
     if (!pfn) {
-        ++numFailedPins;
+        ++statFailedPins;
         set_st(PinStatus::OutOfMemory);
         return std::nullopt;
     }
 
     p->refs.emplace(vpn, 1);
-    ++numPagesPinned;
+    ++statPagesPinned;
     set_st(PinStatus::Ok);
     return pfn;
 }
@@ -143,7 +143,7 @@ PinFacility::pinRange(ProcId pid, Vpn start, std::size_t npages,
 PinStatus
 PinFacility::unpinPage(ProcId pid, Vpn vpn)
 {
-    ++numUnpinOps;
+    ++statUnpinOps;
     auto *p = findProc(pid);
     if (!p)
         return PinStatus::UnknownProcess;
@@ -152,7 +152,7 @@ PinFacility::unpinPage(ProcId pid, Vpn vpn)
         return PinStatus::NotPinned;
     if (--it->second == 0) {
         p->refs.erase(it);
-        ++numPagesUnpinned;
+        ++statPagesUnpinned;
     }
     return PinStatus::Ok;
 }

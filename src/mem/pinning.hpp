@@ -23,6 +23,7 @@
 #include "check/test_tamper.hpp"
 #include "mem/address_space.hpp"
 #include "mem/page.hpp"
+#include "sim/stats.hpp"
 
 namespace utlb::check {
 class AuditReport;
@@ -106,12 +107,25 @@ class PinFacility
     std::optional<Pfn> pinnedFrame(ProcId pid, Vpn vpn) const;
 
     /** @name Lifetime counters @{ */
-    std::uint64_t totalPinOps() const { return numPinOps; }
-    std::uint64_t totalUnpinOps() const { return numUnpinOps; }
-    std::uint64_t totalPagesPinned() const { return numPagesPinned; }
-    std::uint64_t totalPagesUnpinned() const { return numPagesUnpinned; }
-    std::uint64_t totalFailedPins() const { return numFailedPins; }
+    std::uint64_t totalPinOps() const { return statPinOps.value(); }
+    std::uint64_t totalUnpinOps() const { return statUnpinOps.value(); }
+    std::uint64_t totalPagesPinned() const
+    {
+        return statPagesPinned.value();
+    }
+    std::uint64_t totalPagesUnpinned() const
+    {
+        return statPagesUnpinned.value();
+    }
+    std::uint64_t totalFailedPins() const
+    {
+        return statFailedPins.value();
+    }
     /** @} */
+
+    /** This facility's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
     /**
      * Invariant auditor: every pin reference is positive, no process
@@ -134,11 +148,19 @@ class PinFacility
 
     std::unordered_map<ProcId, ProcState> procs;
 
-    std::uint64_t numPinOps = 0;
-    std::uint64_t numUnpinOps = 0;
-    std::uint64_t numPagesPinned = 0;
-    std::uint64_t numPagesUnpinned = 0;
-    std::uint64_t numFailedPins = 0;
+    sim::StatGroup statsGrp{"pin_facility"};
+    sim::Counter statPinOps{&statsGrp, "pin_ops",
+                            "pin requests (single pages and range "
+                            "members)"};
+    sim::Counter statUnpinOps{&statsGrp, "unpin_ops",
+                              "unpin requests"};
+    sim::Counter statPagesPinned{&statsGrp, "pages_pinned",
+                                 "pages whose refcount went 0 -> 1"};
+    sim::Counter statPagesUnpinned{&statsGrp, "pages_unpinned",
+                                   "pages whose refcount went 1 -> 0"};
+    sim::Counter statFailedPins{&statsGrp, "failed_pins",
+                                "pin requests rejected (limit, OOM, "
+                                "unknown process)"};
 };
 
 } // namespace utlb::mem

@@ -12,9 +12,11 @@ DmaEngine::hostToNic(mem::PhysAddr src, SramAddr dst, std::size_t len)
     std::vector<std::uint8_t> buf(len);
     hostMem->read(src, buf);
     sram->write(dst, buf);
-    numBytesToNic += len;
-    ++numTransfers;
-    return timings->payloadDmaCost(len);
+    statBytesToNic += len;
+    ++statTransfers;
+    Tick cost = timings->payloadDmaCost(len);
+    statTransferLatency.sample(sim::ticksToUs(cost));
+    return cost;
 }
 
 Tick
@@ -23,9 +25,11 @@ DmaEngine::nicToHost(SramAddr src, mem::PhysAddr dst, std::size_t len)
     std::vector<std::uint8_t> buf(len);
     sram->read(src, buf);
     hostMem->write(dst, buf);
-    numBytesToHost += len;
-    ++numTransfers;
-    return timings->payloadDmaCost(len);
+    statBytesToHost += len;
+    ++statTransfers;
+    Tick cost = timings->payloadDmaCost(len);
+    statTransferLatency.sample(sim::ticksToUs(cost));
+    return cost;
 }
 
 Tick
@@ -35,10 +39,12 @@ DmaEngine::hostToHost(mem::PhysAddr src, mem::PhysAddr dst,
     std::vector<std::uint8_t> buf(len);
     hostMem->read(src, buf);
     hostMem->write(dst, buf);
-    numBytesToNic += len;
-    numBytesToHost += len;
-    ++numTransfers;
-    return timings->payloadDmaCost(len);
+    statBytesToNic += len;
+    statBytesToHost += len;
+    ++statTransfers;
+    Tick cost = timings->payloadDmaCost(len);
+    statTransferLatency.sample(sim::ticksToUs(cost));
+    return cost;
 }
 
 } // namespace utlb::nic

@@ -18,6 +18,7 @@
 #include "mem/phys_memory.hpp"
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace utlb::nic {
@@ -55,19 +56,34 @@ class DmaEngine
                          std::size_t len);
 
     /** @name Lifetime counters @{ */
-    std::uint64_t bytesToNic() const { return numBytesToNic; }
-    std::uint64_t bytesToHost() const { return numBytesToHost; }
-    std::uint64_t transfers() const { return numTransfers; }
+    std::uint64_t bytesToNic() const { return statBytesToNic.value(); }
+    std::uint64_t bytesToHost() const
+    {
+        return statBytesToHost.value();
+    }
+    std::uint64_t transfers() const { return statTransfers.value(); }
     /** @} */
+
+    /** This engine's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
   private:
     mem::PhysMemory *hostMem;
     Sram *sram;
     const NicTimings *timings;
 
-    std::uint64_t numBytesToNic = 0;
-    std::uint64_t numBytesToHost = 0;
-    std::uint64_t numTransfers = 0;
+    sim::StatGroup statsGrp{"dma"};
+    sim::Counter statBytesToNic{&statsGrp, "bytes_to_nic",
+                                "bytes DMAed host -> SRAM"};
+    sim::Counter statBytesToHost{&statsGrp, "bytes_to_host",
+                                 "bytes DMAed SRAM -> host"};
+    sim::Counter statTransfers{&statsGrp, "transfers",
+                               "DMA descriptors issued"};
+    sim::Histogram statTransferLatency{&statsGrp,
+                                       "transfer_latency_us",
+                                       "modeled cost per DMA transfer",
+                                       100.0, 25};
 };
 
 } // namespace utlb::nic

@@ -24,6 +24,8 @@ Sram::alloc(const std::string &name, std::size_t size)
         return std::nullopt;
     nextFree = base + size;
     regions.push_back(Region{name, static_cast<SramAddr>(base), size});
+    ++statAllocs;
+    statAllocBytes += size;
     return static_cast<SramAddr>(base);
 }
 
@@ -59,6 +61,7 @@ void
 Sram::read(SramAddr addr, std::span<std::uint8_t> out) const
 {
     checkRange(addr, out.size());
+    ++statReads;
     std::memcpy(out.data(), bytes.data() + addr, out.size());
 }
 
@@ -66,6 +69,7 @@ void
 Sram::write(SramAddr addr, std::span<const std::uint8_t> in)
 {
     checkRange(addr, in.size());
+    ++statWrites;
     std::memcpy(bytes.data() + addr, in.data(), in.size());
 }
 
@@ -73,6 +77,7 @@ std::uint32_t
 Sram::readWord(SramAddr addr) const
 {
     checkRange(addr, 4);
+    ++statReads;
     std::uint32_t v;
     std::memcpy(&v, bytes.data() + addr, 4);
     return v;
@@ -82,6 +87,7 @@ void
 Sram::writeWord(SramAddr addr, std::uint32_t value)
 {
     checkRange(addr, 4);
+    ++statWrites;
     std::memcpy(bytes.data() + addr, &value, 4);
 }
 

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/stats.hpp"
+
 namespace utlb::nic {
 
 /** Offset of a region within NIC SRAM. */
@@ -70,6 +72,10 @@ class Sram
     /** Wipe all contents and regions. */
     void reset();
 
+    /** This store's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
+
   private:
     struct Region {
         std::string name;
@@ -82,6 +88,17 @@ class Sram
     std::vector<std::uint8_t> bytes;
     std::vector<Region> regions;
     std::size_t nextFree = 0;
+
+    sim::StatGroup statsGrp{"sram"};
+    sim::Counter statAllocs{&statsGrp, "region_allocs",
+                            "named regions claimed"};
+    sim::Counter statAllocBytes{&statsGrp, "alloc_bytes",
+                                "bytes claimed by regions"};
+    mutable sim::Counter statReads{&statsGrp, "reads",
+                                   "read accesses (byte spans and "
+                                   "words)"};
+    sim::Counter statWrites{&statsGrp, "writes",
+                            "write accesses (byte spans and words)"};
 };
 
 } // namespace utlb::nic

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Every machine-readable artifact this project emits — the stats
+ * tree (`tlbsim --stats-json`), the Chrome trace-event stream
+ * (`--trace-out`), and the bench harnesses' `BENCH_*.json` files —
+ * goes through this one writer, so escaping and number formatting
+ * are uniform and schema tests only have to trust one serializer.
+ *
+ * The writer is strictly streaming (no DOM): callers open and close
+ * objects/arrays in order and the writer tracks comma placement and
+ * indentation. Misnesting panics, since it would emit malformed JSON
+ * that downstream tooling (catapult, jq, the golden tests) would
+ * reject anyway.
+ */
+
+#ifndef UTLB_SIM_JSON_HPP
+#define UTLB_SIM_JSON_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace utlb::sim {
+
+/** Render @p s as a double-quoted JSON string with full escaping. */
+inline void
+jsonEscape(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Streaming JSON writer with automatic comma/indent management.
+ *
+ * Inside an object use the field() overloads (key + value) and the
+ * keyed beginObject/beginArray; inside an array use the value()
+ * overloads and the unkeyed begin calls.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : out(&os), prettyPrint(pretty)
+    {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /** @name Containers @{ */
+    void beginObject() { open('{', nullptr); }
+    void beginObject(std::string_view key) { open('{', &key); }
+    void endObject() { close('}'); }
+    void beginArray() { open('[', nullptr); }
+    void beginArray(std::string_view key) { open('[', &key); }
+    void endArray() { close(']'); }
+    /** @} */
+
+    /** @name Object fields @{ */
+    void
+    field(std::string_view key, std::string_view v)
+    {
+        prefix(&key);
+        jsonEscape(*out, v);
+    }
+
+    void
+    field(std::string_view key, const char *v)
+    {
+        field(key, std::string_view(v));
+    }
+
+    void
+    field(std::string_view key, std::uint64_t v)
+    {
+        prefix(&key);
+        *out << v;
+    }
+
+    void
+    field(std::string_view key, double v)
+    {
+        prefix(&key);
+        writeDouble(v);
+    }
+
+    void
+    field(std::string_view key, bool v)
+    {
+        prefix(&key);
+        *out << (v ? "true" : "false");
+    }
+    /** @} */
+
+    /**
+     * Embed pre-serialized JSON verbatim (the caller vouches for its
+     * validity; indentation of the embedded text is preserved as-is).
+     * @{
+     */
+    void
+    rawField(std::string_view key, std::string_view json)
+    {
+        prefix(&key);
+        *out << json;
+    }
+
+    void
+    rawValue(std::string_view json)
+    {
+        prefix(nullptr);
+        *out << json;
+    }
+    /** @} */
+
+    /** @name Array elements @{ */
+    void
+    value(std::string_view v)
+    {
+        prefix(nullptr);
+        jsonEscape(*out, v);
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        prefix(nullptr);
+        *out << v;
+    }
+
+    void
+    value(double v)
+    {
+        prefix(nullptr);
+        writeDouble(v);
+    }
+    /** @} */
+
+    /** True once every opened container has been closed. */
+    bool done() const { return depth.empty() && emitted; }
+
+  private:
+    struct Level {
+        char kind;       //!< '{' or '['
+        bool hasItems = false;
+    };
+
+    void
+    writeDouble(double v)
+    {
+        // JSON has no NaN/Infinity literal; empty-histogram min/max
+        // are +-inf, so map non-finite values to 0 rather than emit
+        // a token every parser rejects.
+        if (!std::isfinite(v))
+            v = 0.0;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        *out << buf;
+    }
+
+    void
+    prefix(const std::string_view *key)
+    {
+        if (!depth.empty()) {
+            Level &top = depth.back();
+            if ((top.kind == '{') != (key != nullptr))
+                panic("JsonWriter: %s used inside %c",
+                      key ? "keyed write" : "bare value", top.kind);
+            if (top.hasItems)
+                *out << ',';
+            top.hasItems = true;
+            newlineIndent();
+        } else if (emitted) {
+            panic("JsonWriter: multiple top-level values");
+        }
+        if (key) {
+            jsonEscape(*out, *key);
+            *out << (prettyPrint ? ": " : ":");
+        }
+        emitted = true;
+    }
+
+    void
+    open(char kind, const std::string_view *key)
+    {
+        prefix(key);
+        *out << kind;
+        depth.push_back(Level{kind, false});
+    }
+
+    void
+    close(char kind)
+    {
+        char closer = kind;
+        char opener = (kind == '}') ? '{' : '[';
+        if (depth.empty() || depth.back().kind != opener)
+            panic("JsonWriter: mismatched close '%c'", closer);
+        bool hadItems = depth.back().hasItems;
+        depth.pop_back();
+        if (hadItems)
+            newlineIndent();
+        *out << closer;
+    }
+
+    void
+    newlineIndent()
+    {
+        if (!prettyPrint)
+            return;
+        *out << '\n';
+        for (std::size_t i = 0; i < depth.size(); ++i)
+            *out << "  ";
+    }
+
+    std::ostream *out;
+    bool prettyPrint;
+    bool emitted = false;
+    std::vector<Level> depth;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_JSON_HPP

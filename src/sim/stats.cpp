@@ -4,6 +4,7 @@
 #include <limits>
 #include <ostream>
 
+#include "sim/json.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::sim {
@@ -39,10 +40,32 @@ Counter::print(std::ostream &os) const
 }
 
 void
+Counter::writeJson(JsonWriter &w) const
+{
+    w.beginObject(name());
+    w.field("type", "counter");
+    w.field("value", val);
+    w.field("desc", desc());
+    w.endObject();
+}
+
+void
 Average::print(std::ostream &os) const
 {
     os << statNameWidth(name()) << mean() << "  # " << desc()
        << " (" << count << " samples)\n";
+}
+
+void
+Average::writeJson(JsonWriter &w) const
+{
+    w.beginObject(name());
+    w.field("type", "average");
+    w.field("mean", mean());
+    w.field("samples", count);
+    w.field("total", sum);
+    w.field("desc", desc());
+    w.endObject();
 }
 
 Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
@@ -91,6 +114,25 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::writeJson(JsonWriter &w) const
+{
+    w.beginObject(name());
+    w.field("type", "histogram");
+    w.field("samples", total);
+    w.field("mean", mean());
+    w.field("min", total ? minVal : 0.0);
+    w.field("max", total ? maxVal : 0.0);
+    w.field("bucket_width", bucketWidth);
+    w.beginArray("buckets");
+    for (std::uint64_t c : counts)
+        w.value(c);
+    w.endArray();
+    w.field("overflow", overflow);
+    w.field("desc", desc());
+    w.endObject();
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
@@ -116,6 +158,51 @@ StatGroup::dump(std::ostream &os) const
         s->print(os);
     for (const auto *c : children)
         c->dump(os);
+}
+
+void
+StatGroup::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    writeBody(w);
+    w.endObject();
+}
+
+void
+StatGroup::writeJson(JsonWriter &w, std::string_view key) const
+{
+    w.beginObject(key);
+    writeBody(w);
+    w.endObject();
+}
+
+void
+StatGroup::writeBody(JsonWriter &w) const
+{
+    w.field("name", groupName);
+    w.beginObject("stats");
+    for (const auto *s : stats)
+        s->writeJson(w);
+    w.endObject();
+    w.beginArray("groups");
+    for (const auto *c : children)
+        c->writeJson(w);
+    w.endArray();
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    writeJson(w);
+    os << '\n';
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    children.erase(std::remove(children.begin(), children.end(), child),
+                   children.end());
 }
 
 void

@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace utlb::sim {
 
+class JsonWriter;
 class StatGroup;
 
 /** Base class for all named statistics. */
@@ -36,6 +38,12 @@ class StatBase
 
     /** Render "name value # desc" lines into @p os. */
     virtual void print(std::ostream &os) const = 0;
+
+    /**
+     * Render this stat as one keyed JSON object field of the form
+     * "name": {"type": ..., "desc": ..., <type-specific values>}.
+     */
+    virtual void writeJson(JsonWriter &w) const = 0;
 
     /** Reset to the initial state. */
     virtual void reset() = 0;
@@ -60,6 +68,7 @@ class Counter : public StatBase
     void set(std::uint64_t v) { val = v; }
 
     void print(std::ostream &os) const override;
+    void writeJson(JsonWriter &w) const override;
     void reset() override { val = 0; }
 
   private:
@@ -81,6 +90,7 @@ class Average : public StatBase
     double total() const { return sum; }
 
     void print(std::ostream &os) const override;
+    void writeJson(JsonWriter &w) const override;
     void reset() override { sum = 0.0; count = 0; }
 
   private:
@@ -107,7 +117,11 @@ class Histogram : public StatBase
     double minSeen() const { return minVal; }
     double maxSeen() const { return maxVal; }
 
+    double bucketWidthOf() const { return bucketWidth; }
+    std::size_t buckets() const { return counts.size(); }
+
     void print(std::ostream &os) const override;
+    void writeJson(JsonWriter &w) const override;
     void reset() override;
 
   private:
@@ -135,8 +149,36 @@ class StatGroup
 
     const std::string &name() const { return groupName; }
 
+    /**
+     * Attach an independently constructed group as a child of this
+     * one. Components own their StatGroup without knowing the tree
+     * they will end up in; the simulation harness adopts them into
+     * its root after construction. The child must outlive this
+     * group and must not be adopted twice.
+     */
+    void adopt(StatGroup &child) { addChild(&child); }
+
+    /**
+     * Detach a previously adopted child before it is destroyed
+     * (e.g. when a process unregisters mid-run). No-op if @p child
+     * is not a child of this group.
+     */
+    void disown(StatGroup &child) { removeChild(&child); }
+
     /** Dump this group's stats (and children's) to @p os. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Serialize the whole subtree as one JSON object:
+     * {"name": ..., "stats": {<stat name>: {...}, ...},
+     *  "groups": [<child subtrees>]}. The keyed overload emits the
+     * same object as a field of an enclosing object.
+     */
+    void writeJson(JsonWriter &w) const;
+    void writeJson(JsonWriter &w, std::string_view key) const;
+
+    /** Convenience: writeJson() into @p os as a full document. */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset all stats in this group and children. */
     void resetAll();
@@ -147,8 +189,11 @@ class StatGroup
   private:
     friend class StatBase;
 
+    void writeBody(JsonWriter &w) const;
+
     void addStat(StatBase *stat) { stats.push_back(stat); }
     void addChild(StatGroup *child) { children.push_back(child); }
+    void removeChild(StatGroup *child);
 
     std::string groupName;
     std::vector<StatBase *> stats;

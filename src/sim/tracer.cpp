@@ -1,0 +1,87 @@
+#include "sim/tracer.hpp"
+
+#include <ostream>
+
+#include "sim/json.hpp"
+
+namespace utlb::sim {
+
+void
+Tracer::record(Event ev)
+{
+    if (recorded.size() >= maxEvents) {
+        ++numDropped;
+        return;
+    }
+    recorded.push_back(std::move(ev));
+}
+
+void
+Tracer::complete(std::string_view name, std::string_view category,
+                 std::uint32_t track, Tick dur,
+                 std::initializer_list<TraceArg> args)
+{
+    Event ev{std::string(name), std::string(category), 'X', track,
+             clock, dur, {}};
+    for (const TraceArg &a : args)
+        ev.args.emplace_back(a.key, a.value);
+    record(std::move(ev));
+    clock += dur;
+}
+
+void
+Tracer::instant(std::string_view name, std::string_view category,
+                std::uint32_t track,
+                std::initializer_list<TraceArg> args)
+{
+    Event ev{std::string(name), std::string(category), 'i', track,
+             clock, 0, {}};
+    for (const TraceArg &a : args)
+        ev.args.emplace_back(a.key, a.value);
+    record(std::move(ev));
+}
+
+void
+Tracer::clearEvents()
+{
+    recorded.clear();
+    numDropped = 0;
+}
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.beginArray("traceEvents");
+    for (const Event &ev : recorded) {
+        w.beginObject();
+        w.field("name", ev.name);
+        w.field("cat", ev.category);
+        w.field("ph", std::string_view(&ev.phase, 1));
+        // Chrome trace timestamps are microseconds.
+        w.field("ts", ticksToUs(ev.ts));
+        if (ev.phase == 'X')
+            w.field("dur", ticksToUs(ev.dur));
+        else
+            w.field("s", "t");  // instant scope: thread
+        w.field("pid", std::uint64_t{ev.track});
+        w.field("tid", std::uint64_t{0});
+        if (!ev.args.empty()) {
+            w.beginObject("args");
+            for (const auto &[k, v] : ev.args)
+                w.field(k, v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.beginObject("metadata");
+    w.field("dropped_events", std::uint64_t{numDropped});
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace utlb::sim

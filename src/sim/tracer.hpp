@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight event tracer for the translation miss path.
+ *
+ * Records timed events (cache probe, host-table DMA read, pin ioctl,
+ * cache install, ...) and serializes them as Chrome trace-event JSON
+ * (the `chrome://tracing` / Perfetto "traceEvents" format), so a miss
+ * can be inspected span-by-span in a standard timeline viewer.
+ *
+ * The simulation is cost-model driven rather than globally clocked,
+ * so the tracer keeps its own cursor: each complete() event is placed
+ * at the cursor and advances it by the event's duration. Components
+ * that spend modeled time without emitting an event advance the
+ * cursor explicitly with advance().
+ *
+ * The event buffer is bounded; once full, further events are counted
+ * in dropped() but not stored, keeping long replays cheap.
+ */
+
+#ifndef UTLB_SIM_TRACER_HPP
+#define UTLB_SIM_TRACER_HPP
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace utlb::sim {
+
+/** One numeric annotation on a trace event. */
+struct TraceArg {
+    const char *key;
+    std::uint64_t value;
+};
+
+/** Bounded recorder of Chrome trace events. */
+class Tracer
+{
+  public:
+    /** Default event-buffer bound (~a few MB of JSON). */
+    static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+    explicit Tracer(std::size_t max_events = kDefaultMaxEvents)
+        : maxEvents(max_events)
+    {}
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Current position of the trace clock (ticks). */
+    Tick now() const { return clock; }
+
+    /** Advance the clock without emitting an event. */
+    void advance(Tick dur) { clock += dur; }
+
+    /**
+     * Emit a complete ("ph":"X") event of duration @p dur at the
+     * clock cursor, attributed to track @p track (rendered as the
+     * Chrome pid, one row per process), then advance the cursor.
+     */
+    void complete(std::string_view name, std::string_view category,
+                  std::uint32_t track, Tick dur,
+                  std::initializer_list<TraceArg> args = {});
+
+    /** Emit an instant ("ph":"i") event at the clock cursor. */
+    void instant(std::string_view name, std::string_view category,
+                 std::uint32_t track,
+                 std::initializer_list<TraceArg> args = {});
+
+    /** Events currently stored. */
+    std::size_t events() const { return recorded.size(); }
+
+    /** Events discarded because the buffer bound was reached. */
+    std::size_t dropped() const { return numDropped; }
+
+    /** Discard all stored events; the clock keeps running. */
+    void clearEvents();
+
+    /** Serialize as a Chrome trace-event JSON object. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Event {
+        std::string name;
+        std::string category;
+        char phase;
+        std::uint32_t track;
+        Tick ts;
+        Tick dur;
+        std::vector<std::pair<std::string, std::uint64_t>> args;
+    };
+
+    void record(Event ev);
+
+    std::size_t maxEvents;
+    std::vector<Event> recorded;
+    Tick clock = 0;
+    std::size_t numDropped = 0;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_TRACER_HPP

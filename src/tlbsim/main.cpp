@@ -17,18 +17,25 @@
  *            [--prepin N] [--seed S] [--warmup N]
  *            [--synthetic uniform|stream|hotcold]
  *            [--audit-every N]
+ *            [--stats-json FILE] [--trace-out FILE]
  *
  * Examples:
  *     tlbsim radix --entries 4096 --audit-every 1000
  *     tlbsim --synthetic hotcold --mode intr --audit-every 64
+ *     tlbsim fft --stats-json stats.json --trace-out trace.json
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "sim/json.hpp"
 #include "sim/log.hpp"
 #include "sim/table.hpp"
+#include "sim/tracer.hpp"
 #include "tlbsim/simulator.hpp"
 #include "trace/workloads.hpp"
 
@@ -55,7 +62,53 @@ usage()
         "  --synthetic K   micro-workload: uniform|stream|hotcold\n"
         "  --audit-every N run the invariant auditors every N\n"
         "                  lookups; abort on any violation (0 = "
-        "never)\n";
+        "never)\n"
+        "  --stats-json F  write all runs' statistics (components\n"
+        "                  tree included) as utlb-stats-v1 JSON to F\n"
+        "  --trace-out F   write the UTLB miss path as Chrome\n"
+        "                  trace-event JSON to F (load in\n"
+        "                  chrome://tracing or Perfetto)\n";
+}
+
+/** Open @p path for writing, dying on failure. */
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        sim::fatal("cannot open %s for writing", path.c_str());
+    return ofs;
+}
+
+/**
+ * Write the whole invocation as one "utlb-stats-v1" document: the
+ * trace's shape plus each run's per-run object (already serialized
+ * by the simulator) under "runs".
+ */
+void
+writeStatsJson(const std::string &path, const std::string &workload,
+               const trace::TraceShape &shape,
+               const std::vector<std::pair<const char *, std::string>>
+                   &runs)
+{
+    std::ofstream ofs = openOut(path);
+    sim::JsonWriter w(ofs);
+    w.beginObject();
+    w.field("schema", "utlb-stats-v1");
+    w.beginObject("workload");
+    w.field("name", workload);
+    w.field("lookups", shape.lookups);
+    w.field("distinct_pages", shape.distinctPages);
+    w.field("processes", shape.processes);
+    w.endObject();
+    w.beginArray("runs");
+    for (const auto &[mech, json] : runs) {
+        (void)mech;
+        w.rawValue(json);
+    }
+    w.endArray();
+    w.endObject();
+    ofs << '\n';
 }
 
 /** Print one run's statistics as a two-column table. */
@@ -99,6 +152,8 @@ main(int argc, char **argv)
     std::string workload = "radix";
     std::string synthetic;
     std::string mode = "both";
+    std::string statsPath;
+    std::string tracePath;
     tlbsim::SimConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -137,6 +192,10 @@ main(int argc, char **argv)
             synthetic = next();
         } else if (arg == "--audit-every") {
             cfg.auditEvery = std::stoul(next());
+        } else if (arg == "--stats-json") {
+            statsPath = next();
+        } else if (arg == "--trace-out") {
+            tracePath = next();
         } else if (!arg.empty() && arg[0] != '-') {
             workload = arg;
         } else {
@@ -161,9 +220,37 @@ main(int argc, char **argv)
                   << " lookups\n";
     std::cout << "\n";
 
-    if (mode == "utlb" || mode == "both")
-        report("UTLB", tlbsim::simulateUtlb(tr, cfg), true);
-    if (mode == "intr" || mode == "both")
-        report("Intr", tlbsim::simulateIntr(tr, cfg), false);
+    sim::Tracer tracer;
+    if (!tracePath.empty())
+        cfg.tracer = &tracer;
+
+    std::vector<std::pair<const char *, std::string>> runs;
+    if (mode == "utlb" || mode == "both") {
+        tlbsim::SimResult r = tlbsim::simulateUtlb(tr, cfg);
+        report("UTLB", r, true);
+        runs.emplace_back("utlb", std::move(r.statsJson));
+    }
+    if (mode == "intr" || mode == "both") {
+        tlbsim::SimResult r = tlbsim::simulateIntr(tr, cfg);
+        report("Intr", r, false);
+        runs.emplace_back("intr", std::move(r.statsJson));
+    }
+
+    if (!statsPath.empty()) {
+        writeStatsJson(statsPath,
+                       synthetic.empty() ? workload : synthetic,
+                       shape, runs);
+        std::cout << "stats written to " << statsPath << "\n";
+    }
+    if (!tracePath.empty()) {
+        std::ofstream ofs = openOut(tracePath);
+        tracer.writeJson(ofs);
+        ofs << '\n';
+        if (tracer.dropped())
+            std::cout << tracer.dropped()
+                      << " trace events dropped (buffer full)\n";
+        std::cout << "trace written to " << tracePath << " ("
+                  << tracer.events() << " events)\n";
+    }
     return 0;
 }

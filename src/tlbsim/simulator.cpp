@@ -2,6 +2,7 @@
 
 #include <list>
 #include <memory>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "mem/pinning.hpp"
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
+#include "sim/json.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::tlbsim {
@@ -98,6 +100,67 @@ dieOnViolations(const check::AuditReport &report, std::uint64_t lookup)
                report.summary().c_str());
 }
 
+/**
+ * Serialize one finished run as the "utlb-stats-v1" per-run object:
+ * the mechanism, the configuration it ran under, the headline
+ * results (raw counters plus the derived table metrics), and the
+ * full component statistics tree rooted at @p root.
+ */
+std::string
+runJson(const char *mechanism, const SimConfig &cfg,
+        const SimResult &res, const sim::StatGroup &root)
+{
+    std::ostringstream os;
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "utlb-stats-v1");
+    w.field("mechanism", mechanism);
+
+    w.beginObject("config");
+    w.field("cache_entries", std::uint64_t{cfg.cache.entries});
+    w.field("cache_assoc", std::uint64_t{cfg.cache.assoc});
+    w.field("index_offsetting", cfg.cache.indexOffsetting);
+    w.field("prefetch_entries", std::uint64_t{cfg.prefetchEntries});
+    w.field("mem_limit_pages", std::uint64_t{cfg.memLimitPages});
+    w.field("policy", core::toString(cfg.policy));
+    w.field("prepin_pages", std::uint64_t{cfg.prepinPages});
+    w.field("seed", cfg.seed);
+    w.field("warmup_lookups", std::uint64_t{cfg.warmupLookups});
+    w.endObject();
+
+    w.beginObject("results");
+    w.field("lookups", res.lookups);
+    w.field("probes", res.probes);
+    w.field("check_miss_lookups", res.checkMissLookups);
+    w.field("ni_miss_lookups", res.niMissLookups);
+    w.field("ni_miss_probes", res.niMissProbes);
+    w.field("pages_pinned", res.pagesPinned);
+    w.field("pages_unpinned", res.pagesUnpinned);
+    w.field("pin_ioctls", res.pinIoctls);
+    w.field("interrupts", res.interrupts);
+    w.field("host_time_us", sim::ticksToUs(res.hostTime));
+    w.field("pin_time_us", sim::ticksToUs(res.pinTime));
+    w.field("unpin_time_us", sim::ticksToUs(res.unpinTime));
+    w.field("nic_time_us", sim::ticksToUs(res.nicTime));
+    w.field("compulsory_misses", res.compulsoryMisses);
+    w.field("capacity_misses", res.capacityMisses);
+    w.field("conflict_misses", res.conflictMisses);
+    w.field("audits", res.audits);
+    w.field("check_miss_per_lookup", res.checkMissPerLookup());
+    w.field("ni_miss_per_lookup", res.niMissPerLookup());
+    w.field("unpins_per_lookup", res.unpinsPerLookup());
+    w.field("probe_miss_rate", res.probeMissRate());
+    w.field("avg_lookup_cost_us", res.avgLookupCostUs());
+    w.field("amortized_pin_us", res.amortizedPinUs());
+    w.field("amortized_unpin_us", res.amortizedUnpinUs());
+    w.endObject();
+
+    root.writeJson(w, "components");
+
+    w.endObject();
+    return os.str();
+}
+
 /** Frames needed to replay a trace without running out of DRAM. */
 std::size_t
 framesFor(const trace::Trace &trace)
@@ -116,8 +179,11 @@ SimResult
 simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
 {
     SimResult res;
-    if (trace.empty())
+    if (trace.empty()) {
+        sim::StatGroup root("utlb");
+        res.statsJson = runJson("utlb", cfg, res, root);
         return res;
+    }
 
     mem::PhysMemory phys_mem(framesFor(trace));
     mem::PinFacility pins;
@@ -126,6 +192,12 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
     core::HostCosts costs(cfg.hostProfile);
     core::SharedUtlbCache cache(cfg.cache, timings, &sram);
     core::UtlbDriver driver(phys_mem, pins, sram, cache, costs);
+
+    sim::StatGroup root("utlb");
+    root.adopt(cache.stats());
+    root.adopt(driver.stats());
+    root.adopt(pins.stats());
+    root.adopt(sram.stats());
 
     struct Proc {
         std::unique_ptr<mem::AddressSpace> space;
@@ -148,6 +220,8 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
             ucfg.pin.seed = cfg.seed + pid;
             p.utlb = std::make_unique<core::UserUtlb>(
                 driver, cache, timings, pid, ucfg);
+            p.utlb->setTracer(cfg.tracer);
+            root.adopt(p.utlb->stats());
             it = procs.emplace(pid, std::move(p)).first;
         }
         return *it->second.utlb;
@@ -222,6 +296,7 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
             ++res.audits;
         }
     }
+    res.statsJson = runJson("utlb", cfg, res, root);
     return res;
 }
 
@@ -229,8 +304,11 @@ SimResult
 simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
 {
     SimResult res;
-    if (trace.empty())
+    if (trace.empty()) {
+        sim::StatGroup root("intr");
+        res.statsJson = runJson("intr", cfg, res, root);
         return res;
+    }
 
     mem::PhysMemory phys_mem(framesFor(trace));
     mem::PinFacility pins;
@@ -238,6 +316,11 @@ simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
     core::HostCosts costs(cfg.hostProfile);
     core::SharedUtlbCache cache(cfg.cache, timings);
     core::InterruptTlb intr(pins, cache, costs, timings);
+
+    sim::StatGroup root("intr");
+    root.adopt(cache.stats());
+    root.adopt(intr.stats());
+    root.adopt(pins.stats());
 
     std::unordered_map<ProcId, std::unique_ptr<mem::AddressSpace>>
         spaces;
@@ -304,6 +387,7 @@ simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
             ++res.audits;
         }
     }
+    res.statsJson = runJson("intr", cfg, res, root);
     return res;
 }
 

@@ -16,10 +16,12 @@
 #define UTLB_TLBSIM_SIMULATOR_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "core/cost_model.hpp"
 #include "core/replacement.hpp"
 #include "core/shared_cache.hpp"
+#include "sim/tracer.hpp"
 #include "sim/types.hpp"
 #include "trace/record.hpp"
 
@@ -65,6 +67,13 @@ struct SimConfig {
      * the full list of findings; see docs/checking.md.
      */
     std::size_t auditEvery = 0;
+
+    /**
+     * Optional event tracer: when set, the UTLB replay emits the
+     * NIC miss path (cache probe -> table DMA read -> pin ioctl ->
+     * install) as Chrome trace events. Owned by the caller.
+     */
+    sim::Tracer *tracer = nullptr;
 };
 
 /** Statistics of one simulation run. */
@@ -91,6 +100,16 @@ struct SimResult {
     std::uint64_t conflictMisses = 0;
 
     std::uint64_t audits = 0;  //!< invariant sweeps run (all clean)
+
+    /**
+     * The run serialized as one "utlb-stats-v1" JSON object:
+     * mechanism, configuration, headline results (with the derived
+     * table metrics), and the full per-component statistics tree
+     * (shared cache, driver, pin facility, per-process pin
+     * managers). Always populated; tlbsim --stats-json writes it
+     * out.
+     */
+    std::string statsJson;
 
     /** Table 4/5 "check misses" row: per lookup. */
     double checkMissPerLookup() const

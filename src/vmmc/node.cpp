@@ -31,13 +31,20 @@ VmmcNode::VmmcNode(net::NodeId id, net::Network &network_ref,
       utlbDriver(physMem, pins, boardSram, cache, hostCosts),
       intrTlb(pins, cache, hostCosts, t),
       dma(physMem, boardSram, t),
-      link(id, network_ref, event_queue, cfg.retryTimeout)
+      link(id, network_ref, event_queue, cfg.retryTimeout),
+      statsGrp("node" + std::to_string(id))
 {
     network->attach(id, [this](const Packet &pkt) {
         auto delivered = link.onPacket(pkt);
         if (delivered)
             onPacket(*delivered);
     });
+    statsGrp.adopt(cache.stats());
+    statsGrp.adopt(utlbDriver.stats());
+    statsGrp.adopt(intrTlb.stats());
+    statsGrp.adopt(dma.stats());
+    statsGrp.adopt(boardSram.stats());
+    statsGrp.adopt(pins.stats());
 }
 
 core::NicLookup
@@ -79,6 +86,7 @@ VmmcNode::createProcess(ProcId pid, const core::UtlbConfig &cfg)
     state.post = std::make_unique<nic::CommandPost>(
         boardSram, pid, config.commandSlots);
     auto [it, inserted] = procs.emplace(pid, std::move(state));
+    statsGrp.adopt(it->second.utlb->stats());
     return *it->second.utlb;
 }
 
@@ -170,7 +178,7 @@ VmmcNode::send(ProcId pid, VirtAddr local_va, std::size_t nbytes,
         }
         return false;
     }
-    ++numSends;
+    ++statSends;
     kickMcp(pid, host_cost);
     return true;
 }
@@ -202,7 +210,7 @@ VmmcNode::fetch(ProcId pid, VirtAddr local_va, std::size_t nbytes,
                                          pagesSpanned(local_va, nbytes));
         return false;
     }
-    ++numFetches;
+    ++statFetches;
     kickMcp(pid, res.cost);
     return true;
 }
@@ -263,7 +271,7 @@ VmmcNode::sendIdx(ProcId pid, core::UtlbIndex index,
     cmd.remoteOffset = remote_offset;
     if (!p.post->post(cmd))
         return false;
-    ++numSends;
+    ++statSends;
     // Index submission is the fast path: no pinning work at all.
     kickMcp(pid, sim::usToTicks(0.5));
     return true;
@@ -290,7 +298,7 @@ VmmcNode::serveSendIdx(ProcState &p, const nic::Command &cmd)
     pkt.hdr.totalBytes = cmd.nbytes;
     pkt.payload.resize(cmd.nbytes);
     physMem.read(mem::frameAddr(pfn) + cmd.localVa, pkt.payload);
-    ++numFragments;
+    ++statFragments;
     events->after(t, [this, pkt = std::move(pkt)]() mutable {
         link.sendReliable(std::move(pkt));
     });
@@ -389,7 +397,7 @@ VmmcNode::streamOut(ProcId pid, VirtAddr va, std::size_t nbytes,
         pkt.payload.resize(frag);
         physMem.read(mem::frameAddr(nl.pfn) + offsetOf(va + done),
                      pkt.payload);
-        ++numFragments;
+        ++statFragments;
         events->after(t, [this, pkt = std::move(pkt)]() mutable {
             link.sendReliable(std::move(pkt));
         });
@@ -506,7 +514,7 @@ VmmcNode::depositData(const Packet &pkt)
         done += frag;
     }
 
-    numBytesDeposited += pkt.payload.size();
+    statBytesDeposited += pkt.payload.size();
     TransferKey key{hdr.exportId, hdr.src, hdr.transferId};
     depositProgress[key] += pkt.payload.size();
 
@@ -518,7 +526,7 @@ VmmcNode::depositData(const Packet &pkt)
         if (it == depositProgress.end() || it->second < total)
             return;
         depositProgress.erase(it);
-        ++numCompleted;
+        ++statCompleted;
         ExportEntry &entry = exports[id];
         if (entry.transient) {
             // Fetch reply complete: release the destination lock.
@@ -535,11 +543,11 @@ void
 VmmcNode::printStats(std::ostream &os) const
 {
     os << "---- node " << nodeId << " ----\n"
-       << "vmmc.sends                " << numSends << '\n'
-       << "vmmc.fetches              " << numFetches << '\n'
-       << "vmmc.fragments            " << numFragments << '\n'
-       << "vmmc.transfersCompleted   " << numCompleted << '\n'
-       << "vmmc.bytesDeposited       " << numBytesDeposited << '\n'
+       << "vmmc.sends                " << sendsPosted() << '\n'
+       << "vmmc.fetches              " << fetchesPosted() << '\n'
+       << "vmmc.fragments            " << fragmentsSent() << '\n'
+       << "vmmc.transfersCompleted   " << transfersCompleted() << '\n'
+       << "vmmc.bytesDeposited       " << bytesDeposited() << '\n'
        << "nic.cache.hits            " << cache.hits() << '\n'
        << "nic.cache.misses          " << cache.misses() << '\n'
        << "nic.cache.evictions       " << cache.evictions() << '\n'

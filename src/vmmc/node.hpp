@@ -209,12 +209,30 @@ class VmmcNode
      */
     void printStats(std::ostream &os) const;
 
-    std::uint64_t sendsPosted() const { return numSends; }
-    std::uint64_t fetchesPosted() const { return numFetches; }
-    std::uint64_t transfersCompleted() const { return numCompleted; }
-    std::uint64_t bytesDeposited() const { return numBytesDeposited; }
-    std::uint64_t fragmentsSent() const { return numFragments; }
+    std::uint64_t sendsPosted() const { return statSends.value(); }
+    std::uint64_t fetchesPosted() const { return statFetches.value(); }
+    std::uint64_t transfersCompleted() const
+    {
+        return statCompleted.value();
+    }
+    std::uint64_t bytesDeposited() const
+    {
+        return statBytesDeposited.value();
+    }
+    std::uint64_t fragmentsSent() const
+    {
+        return statFragments.value();
+    }
     sim::Tick lastDepositTime() const { return lastDeposit; }
+
+    /**
+     * The node's statistics subtree: VMMC transfer counters at the
+     * root, with the shared cache, driver, interrupt baseline, DMA
+     * engine, SRAM, pin facility, and every process' UTLB adopted
+     * as children.
+     */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
 
     /** @} */
 
@@ -317,12 +335,20 @@ class VmmcNode
     std::uint32_t nextTransferId = 1;
     DeliverCallback onDeliver;
 
-    std::uint64_t numSends = 0;
-    std::uint64_t numFetches = 0;
-    std::uint64_t numCompleted = 0;
-    std::uint64_t numBytesDeposited = 0;
-    std::uint64_t numFragments = 0;
     sim::Tick lastDeposit = 0;
+
+    sim::StatGroup statsGrp;
+    sim::Counter statSends{&statsGrp, "sends_posted",
+                           "SendVirt/SendIdx commands accepted"};
+    sim::Counter statFetches{&statsGrp, "fetches_posted",
+                             "FetchVirt commands accepted"};
+    sim::Counter statCompleted{&statsGrp, "transfers_completed",
+                               "transfers fully deposited"};
+    sim::Counter statBytesDeposited{&statsGrp, "bytes_deposited",
+                                    "payload bytes landed in host "
+                                    "memory"};
+    sim::Counter statFragments{&statsGrp, "fragments_sent",
+                               "data fragments put on the wire"};
 };
 
 } // namespace utlb::vmmc

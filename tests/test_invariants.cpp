@@ -90,6 +90,19 @@ struct TestTamper {
         return false;
     }
 
+    /** Leave a recency stamp on a dead (invalid) cache line. */
+    static bool
+    stampDeadLine(core::SharedUtlbCache &c)
+    {
+        for (auto &line : c.lines) {
+            if (!line.valid) {
+                line.lastUse = 1;
+                return true;
+            }
+        }
+        return false;
+    }
+
     /** Warp the event clock past the earliest pending event. */
     static void
     warpClock(sim::EventQueue &q)
@@ -284,6 +297,27 @@ TEST(SharedCacheAudit, CatchesMisplacedLine)
     ASSERT_TRUE(before.ok());
 
     ASSERT_TRUE(check::TestTamper::misplaceCacheLine(cache));
+    check::AuditReport after;
+    cache.audit(after);
+    EXPECT_FALSE(after.ok());
+    EXPECT_GE(after.countFor("shared-cache"), 1u);
+}
+
+TEST(SharedCacheAudit, CatchesStaleStampOnDeadLine)
+{
+    NicTimings timings;
+    SharedUtlbCache cache(CacheConfig{64, 1, true}, timings);
+    cache.insert(1, 5, 100);
+    ASSERT_TRUE(cache.lookup(1, 5).hit);  // useClock > 0
+
+    check::AuditReport before;
+    cache.audit(before);
+    ASSERT_TRUE(before.ok());
+
+    // A dead line keeping a recency stamp is exactly the state a
+    // buggy invalidate path (one that clears `valid` but not
+    // `lastUse`) leaves behind; the auditor must flag it.
+    ASSERT_TRUE(check::TestTamper::stampDeadLine(cache));
     check::AuditReport after;
     cache.audit(after);
     EXPECT_FALSE(after.ok());
