@@ -12,6 +12,7 @@
 #ifndef UTLB_BENCH_COMMON_HPP
 #define UTLB_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -80,7 +82,9 @@ class TraceSet
 class JsonReporter
 {
   public:
-    explicit JsonReporter(std::string bench) : benchName(std::move(bench))
+    explicit JsonReporter(std::string bench)
+        : benchName(std::move(bench)),
+          start(std::chrono::steady_clock::now())
     {}
 
     JsonReporter(const JsonReporter &) = delete;
@@ -129,6 +133,22 @@ class JsonReporter
         w.beginObject();
         w.field("schema", "utlb-bench-v1");
         w.field("bench", benchName);
+        // Wall-clock from reporter construction to write(): how long
+        // the harness itself took (not a modeled quantity).
+        w.field("wall_ns",
+                std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+        w.beginObject("host_info");
+        w.field("cores",
+                static_cast<std::uint64_t>(
+                    std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+        w.field("build_type", "optimized");
+#else
+        w.field("build_type", "debug");
+#endif
+        w.endObject();
         w.beginArray("points");
         for (const auto &p : points) {
             w.beginObject();
@@ -155,6 +175,7 @@ class JsonReporter
     };
 
     std::string benchName;
+    std::chrono::steady_clock::time_point start;
     std::vector<Point> points;
     bool written = false;
 };

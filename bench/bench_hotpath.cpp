@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Wall-clock hot-path harness: translations per second through the
+ * real UTLB stack, per-page translate() vs batched translateRange().
+ *
+ * Unlike the table/figure harnesses this one measures the simulator
+ * itself, not the modeled machine: both modes accrue identical
+ * modeled costs by construction (asserted here and by
+ * tests/test_batched_range.cpp), so any wall-clock difference is
+ * pure data-structure and batching win.
+ *
+ * Scenarios:
+ *   seq64      4096-page warm buffer swept in 64-page windows, all
+ *              NIC-cache hits — the acceptance cell (batched must be
+ *              >= 3x pages/sec in a Release build);
+ *   miss_sweep 16K-page buffer over a 1K-entry cache with prefetch
+ *              32 — steady-state miss + prefetch-refill pattern;
+ *   same_page  one page translated over and over — the MRU "L0"
+ *              slot path.
+ *
+ * UTLB_HOTPATH_MS bounds the per-cell budget (default 300 ms);
+ * BENCH_hotpath.json records pages/sec, ns/page and the speedup per
+ * scenario.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/log.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace utlb;
+
+/** One freshly built single-process UTLB stack. */
+struct Stack {
+    mem::PhysMemory phys;
+    mem::PinFacility pins;
+    nic::Sram sram;
+    nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache;
+    core::UtlbDriver driver;
+    std::unique_ptr<mem::AddressSpace> space;
+    std::unique_ptr<core::UserUtlb> utlb;
+
+    Stack(std::size_t frames, std::size_t entries,
+          std::size_t prefetch)
+        : phys(frames), sram(4u << 20),
+          costs(core::HostProfile::PentiumIINT),
+          cache(core::CacheConfig{entries, 1, true}, timings, &sram),
+          driver(phys, pins, sram, cache, costs)
+    {
+        space = std::make_unique<mem::AddressSpace>(1, phys);
+        driver.registerProcess(*space);
+        core::UtlbConfig ucfg;
+        ucfg.prefetchEntries = prefetch;
+        utlb = std::make_unique<core::UserUtlb>(driver, cache,
+                                                timings, 1, ucfg);
+    }
+};
+
+/** Shape of one scenario's replayed workload. */
+struct Scenario {
+    const char *name;
+    std::size_t bufPages;    //!< total pages in the buffer
+    std::size_t windowPages; //!< pages per translate call
+    std::size_t entries;     //!< NIC cache entries (direct-mapped)
+    std::size_t prefetch;    //!< entries fetched per miss
+};
+
+struct Cell {
+    double wallNs = 0;
+    std::uint64_t pages = 0;
+    sim::Tick modeled = 0;   //!< summed hostCost + nicCost
+
+    double pagesPerSec() const
+    {
+        return wallNs > 0
+            ? static_cast<double>(pages) * 1e9 / wallNs
+            : 0.0;
+    }
+    double nsPerPage() const
+    {
+        return pages > 0 ? wallNs / static_cast<double>(pages) : 0.0;
+    }
+    double modeledUsPerPage() const
+    {
+        return pages > 0
+            ? sim::ticksToUs(modeled) / static_cast<double>(pages)
+            : 0.0;
+    }
+};
+
+double
+budgetMs()
+{
+    if (const char *e = std::getenv("UTLB_HOTPATH_MS")) {
+        double v = std::atof(e);
+        if (v > 0)
+            return v;
+    }
+    return 300.0;
+}
+
+/**
+ * Replay windows over the buffer until the budget expires, through
+ * either translate() (batched = false) or translateRange().
+ */
+Cell
+runCell(const Scenario &sc, bool batched, double budget_ms)
+{
+    Stack st(sc.bufPages + 64, sc.entries, sc.prefetch);
+    std::size_t nbytes = sc.windowPages * mem::kPageSize;
+
+    // Warm pass: pin the whole buffer and fill the cache so the
+    // timed region measures the steady state, not the cold start.
+    for (std::size_t p = 0; p < sc.bufPages; p += sc.windowPages) {
+        core::Translation t =
+            st.utlb->translate(p * mem::kPageSize, nbytes);
+        if (!t.ok)
+            sim::fatal("hotpath %s: warm-up pin failed", sc.name);
+    }
+
+    Cell cell;
+    std::size_t window = 0;
+    std::size_t nwindows = sc.bufPages / sc.windowPages;
+    auto t0 = std::chrono::steady_clock::now();
+    double budget_ns = budget_ms * 1e6;
+    for (;;) {
+        // Check the clock once per 64 windows so it stays off the
+        // hot path.
+        for (int rep = 0; rep < 64; ++rep) {
+            mem::VirtAddr va = (window * sc.windowPages)
+                * mem::kPageSize;
+            core::Translation t = batched
+                ? st.utlb->translateRange(va, nbytes)
+                : st.utlb->translate(va, nbytes);
+            cell.modeled += t.hostCost + t.nicCost;
+            cell.pages += t.pageAddrs.size();
+            if (++window == nwindows)
+                window = 0;
+        }
+        double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        if (ns >= budget_ns) {
+            cell.wallNs = ns;
+            break;
+        }
+    }
+    return cell;
+}
+
+/**
+ * Fixed-iteration equivalence check: the two modes over identical
+ * fresh stacks must accrue bit-identical modeled cost and results.
+ */
+void
+checkEquivalence(const Scenario &sc)
+{
+    Stack a(sc.bufPages + 64, sc.entries, sc.prefetch);
+    Stack b(sc.bufPages + 64, sc.entries, sc.prefetch);
+    std::size_t nbytes = sc.windowPages * mem::kPageSize;
+    std::size_t nwindows = sc.bufPages / sc.windowPages;
+    // Two full passes: cold misses, then steady state.
+    for (std::size_t w = 0; w < 2 * nwindows; ++w) {
+        mem::VirtAddr va =
+            ((w % nwindows) * sc.windowPages) * mem::kPageSize;
+        core::Translation ta = a.utlb->translate(va, nbytes);
+        core::Translation tb = b.utlb->translateRange(va, nbytes);
+        if (ta.hostCost != tb.hostCost || ta.nicCost != tb.nicCost
+            || ta.niMisses != tb.niMisses
+            || ta.pageAddrs != tb.pageAddrs
+            || ta.missPages != tb.missPages)
+            sim::fatal("hotpath %s: translateRange diverged from "
+                       "translate at window %zu",
+                       sc.name, w);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const Scenario scenarios[] = {
+        {"seq64", 4096, 64, 8192, 1},
+        {"miss_sweep", 16384, 64, 1024, 32},
+        {"same_page", 1, 1, 8192, 1},
+    };
+    double ms = budgetMs();
+
+    bench::JsonReporter json("hotpath");
+    sim::TextTable table("hot-path wall clock (" +
+                         sim::TextTable::num(ms, 0) + " ms/cell)");
+    table.setHeader({"scenario", "mode", "pages/sec", "ns/page",
+                     "modeled us/page"});
+
+    for (const Scenario &sc : scenarios) {
+        checkEquivalence(sc);
+        Cell perpage = runCell(sc, false, ms);
+        Cell batched = runCell(sc, true, ms);
+        auto emit = [&](const char *mode, const Cell &cell) {
+            table.addRow({sc.name, mode,
+                          sim::TextTable::num(cell.pagesPerSec(), 0),
+                          sim::TextTable::num(cell.nsPerPage(), 1),
+                          sim::TextTable::num(cell.modeledUsPerPage(),
+                                              3)});
+            json.add({{"scenario", sc.name}, {"mode", mode}},
+                     {{"pages_per_sec", cell.pagesPerSec()},
+                      {"wall_ns", cell.wallNs},
+                      {"ns_per_page", cell.nsPerPage()},
+                      {"modeled_us_per_page",
+                       cell.modeledUsPerPage()}});
+        };
+        emit("perpage", perpage);
+        emit("batched", batched);
+        double speedup = perpage.pagesPerSec() > 0
+            ? batched.pagesPerSec() / perpage.pagesPerSec()
+            : 0.0;
+        table.addRow({sc.name, "speedup",
+                      sim::TextTable::num(speedup, 2) + "x", "", ""});
+        json.add({{"scenario", sc.name}, {"mode", "speedup"}},
+                 {{"speedup", speedup}});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Wall-clock performance run: Release build, then the hot-path
+# harness (translate() vs translateRange() translations/sec) and a
+# batched tlbsim replay. Copies BENCH_hotpath.json to the repo root
+# so the checked-in baseline can be refreshed in place.
+# Usage: scripts/perf.sh [build-dir]
+set -e
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-perf}"
+OUT="${UTLB_PERF_OUT:-$BUILD/perf}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "Release build ($BUILD)"
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" --target bench_hotpath tlbsim
+
+mkdir -p "$OUT"
+
+step "bench_hotpath (UTLB_HOTPATH_MS=${UTLB_HOTPATH_MS:-300} ms/cell)"
+UTLB_BENCH_JSON_DIR="$OUT" "$BUILD"/bench/bench_hotpath
+
+step "tlbsim --batch replay (radix)"
+"$BUILD"/src/tlbsim/tlbsim radix --mode utlb --prefetch 8 --batch \
+    --stats-json "$OUT/tlbsim_batch_radix.json"
+
+cp "$OUT/BENCH_hotpath.json" BENCH_hotpath.json
+step "done"
+echo "results in $OUT; baseline refreshed at BENCH_hotpath.json"

@@ -60,51 +60,100 @@ PinBitVector::test(mem::Vpn vpn) const
     return (words[w] >> (vpn % 64)) & 1;
 }
 
+namespace {
+
+/**
+ * Bits of a 64-bit word that fall inside [start, end) when the word
+ * covers pages [w*64, w*64 + 64).
+ */
+std::uint64_t
+rangeMask(std::uint64_t w, mem::Vpn start, mem::Vpn end)
+{
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (w == start / 64)
+        mask &= ~std::uint64_t{0} << (start % 64);
+    if (w == (end - 1) / 64 && end % 64 != 0)
+        mask &= ~std::uint64_t{0} >> (64 - end % 64);
+    return mask;
+}
+
+} // namespace
+
+std::optional<mem::Vpn>
+PinBitVector::firstClearInRange(mem::Vpn start, std::size_t npages) const
+{
+    if (npages == 0)
+        return std::nullopt;
+    mem::Vpn end = start + npages;
+    std::uint64_t wstart = start / 64;
+    std::uint64_t wend = (end - 1) / 64;
+    for (std::uint64_t w = wstart; w <= wend; ++w) {
+        std::uint64_t have = wordPresent(w) ? words[w] : 0;
+        std::uint64_t missing = rangeMask(w, start, end) & ~have;
+        if (missing) {
+            return static_cast<mem::Vpn>(
+                w * 64 + static_cast<unsigned>(std::countr_zero(missing)));
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<mem::Vpn>
+PinBitVector::firstSetInRange(mem::Vpn start, std::size_t npages) const
+{
+    if (npages == 0)
+        return std::nullopt;
+    mem::Vpn end = start + npages;
+    std::uint64_t wstart = start / 64;
+    std::uint64_t wend = (end - 1) / 64;
+    for (std::uint64_t w = wstart; w <= wend; ++w) {
+        if (!wordPresent(w))
+            return std::nullopt;    // words beyond the map are all clear
+        std::uint64_t present = rangeMask(w, start, end) & words[w];
+        if (present) {
+            return static_cast<mem::Vpn>(
+                w * 64 + static_cast<unsigned>(std::countr_zero(present)));
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+PinBitVector::allSetInRange(mem::Vpn start, std::size_t npages) const
+{
+    return !firstClearInRange(start, npages).has_value();
+}
+
 CheckResult
 PinBitVector::checkRange(mem::Vpn start, std::size_t npages) const
 {
     CheckResult res{};
     res.allPinned = true;
 
-    std::uint64_t last_word = ~std::uint64_t{0};
+    // The scan stops at the first zero bit, so the pages (and bitmap
+    // words) charged for cover [start, first clear] inclusive — or the
+    // whole range when every page is pinned.
     std::size_t scanned_pages = 0;
-    for (std::size_t i = 0; i < npages; ++i) {
-        mem::Vpn vpn = start + i;
-        std::uint64_t w = vpn / 64;
-        if (w != last_word) {
-            ++res.wordsScanned;
-            last_word = w;
-        }
-        ++scanned_pages;
-        if (!test(vpn)) {
+    if (npages > 0) {
+        mem::Vpn last = start + npages - 1;
+        if (auto clear = firstClearInRange(start, npages)) {
             res.allPinned = false;
-            res.firstUnpinned = vpn;
-            break;
+            res.firstUnpinned = *clear;
+            last = *clear;
         }
+        scanned_pages = static_cast<std::size_t>(last - start) + 1;
+        res.wordsScanned =
+            static_cast<std::size_t>(last / 64 - start / 64) + 1;
     }
 
-    // Cost model (Table 1 "check" rows): the scan stops at the first
-    // zero bit. Finding it at the very first page is the measured
-    // minimum (0.2 us); scanning the whole range costs the measured
-    // maximum for that range length.
+    // Cost model (Table 1 "check" rows): finding the zero bit at the
+    // very first page is the measured minimum (0.2 us); scanning the
+    // whole range costs the measured maximum for that range length.
     if (!res.allPinned && scanned_pages <= 1)
         res.cost = costs().checkCostMin(npages ? npages : 1);
     else
         res.cost = costs().checkCostMax(scanned_pages ? scanned_pages : 1);
     return res;
-}
-
-void
-PinBitVector::forEachSet(const std::function<void(mem::Vpn)> &fn) const
-{
-    for (std::size_t w = 0; w < words.size(); ++w) {
-        std::uint64_t word = words[w];
-        while (word != 0) {
-            unsigned bit = static_cast<unsigned>(std::countr_zero(word));
-            fn(static_cast<mem::Vpn>(w * 64 + bit));
-            word &= word - 1;
-        }
-    }
 }
 
 void

@@ -13,8 +13,8 @@
 #ifndef UTLB_CORE_BITVECTOR_HPP
 #define UTLB_CORE_BITVECTOR_HPP
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -71,11 +71,49 @@ class PinBitVector
      */
     CheckResult checkRange(mem::Vpn start, std::size_t npages) const;
 
+    /**
+     * True if every page of [start, start + npages) is set. Scans a
+     * whole 64-page word per iteration; an empty range is trivially
+     * all-set.
+     */
+    bool allSetInRange(mem::Vpn start, std::size_t npages) const;
+
+    /**
+     * First clear page in [start, start + npages), or nullopt if the
+     * range is fully set. Word-at-a-time scan.
+     */
+    std::optional<mem::Vpn>
+    firstClearInRange(mem::Vpn start, std::size_t npages) const;
+
+    /**
+     * First set page in [start, start + npages), or nullopt if the
+     * range is fully clear. Word-at-a-time scan.
+     */
+    std::optional<mem::Vpn>
+    firstSetInRange(mem::Vpn start, std::size_t npages) const;
+
     /** Bytes of user memory consumed by the bitmap. */
     std::size_t footprintBytes() const { return words.size() * 8; }
 
-    /** Visit every set bit in ascending page order. */
-    void forEachSet(const std::function<void(mem::Vpn)> &fn) const;
+    /**
+     * Visit every set bit in ascending page order. A template so the
+     * per-bit call inlines (auditors sweep the whole map; an indirect
+     * call per set bit dominated the sweep).
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            std::uint64_t word = words[w];
+            while (word != 0) {
+                auto bit =
+                    static_cast<unsigned>(std::countr_zero(word));
+                fn(static_cast<mem::Vpn>(w * 64 + bit));
+                word &= word - 1;
+            }
+        }
+    }
 
     /**
      * Invariant auditor: recounts the population from the raw words

@@ -23,6 +23,13 @@ UtlbDriver::UtlbDriver(mem::PhysMemory &host_mem,
     if (!frame)
         fatal("no physical memory for the driver garbage page");
     garbagePfn = *frame;
+
+    // Size the per-process maps for a plausible process population
+    // up front; registration is rare but the maps are probed on the
+    // miss path, and a pre-sized table avoids early rehashes.
+    tables.reserve(64);
+    nicTables.reserve(64);
+    spaces.reserve(64);
 }
 
 UtlbDriver::~UtlbDriver()

@@ -136,13 +136,40 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
         return res;
     }
 
+    return ensureSlow(start, npages, check.firstUnpinned,
+                      std::move(res));
+}
+
+EnsureResult
+PinManager::ensurePinnedRange(Vpn start, std::size_t npages)
+{
+    EnsureResult res;
+    ++statChecks;
+
+    CheckResult check = bits.checkRange(start, npages);
+    res.cost += check.cost;
+
+    if (check.allPinned) {
+        repl->onAccessRange(start, npages);
+        statPolicyAccesses += npages;
+        statEnsureLatency.sample(sim::ticksToUs(res.cost));
+        return res;
+    }
+
+    return ensureSlow(start, npages, check.firstUnpinned,
+                      std::move(res));
+}
+
+EnsureResult
+PinManager::ensureSlow(Vpn start, std::size_t npages, Vpn firstUnpinned,
+                       EnsureResult res)
+{
     res.checkMiss = true;
     ++statCheckMisses;
-    UTLB_ASSERT(check.firstUnpinned >= start
-                    && check.firstUnpinned < start + npages,
+    UTLB_ASSERT(firstUnpinned >= start && firstUnpinned < start + npages,
                 "checkRange reported first unpinned page %llu outside "
                 "[%llu, +%zu)",
-                static_cast<unsigned long long>(check.firstUnpinned),
+                static_cast<unsigned long long>(firstUnpinned),
                 static_cast<unsigned long long>(start), npages);
 
     // The request's own pages must never be chosen as eviction
@@ -150,13 +177,20 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
     // a page that this very lookup needs is "outstanding").
     lockRange(start, npages);
 
-    // Pin each maximal run of unpinned pages within the request.
-    std::size_t i = static_cast<std::size_t>(check.firstUnpinned - start);
+    // Pin each maximal run of unpinned pages within the request,
+    // locating run boundaries a bitmap word at a time.
+    std::size_t i = static_cast<std::size_t>(firstUnpinned - start);
     while (i < npages) {
         if (bits.test(start + i)) {
-            repl->onAccess(start + i);
-            ++statPolicyAccesses;
-            ++i;
+            // Skip (and touch) the whole pinned stretch.
+            std::size_t len = npages - i;
+            if (auto clear = bits.firstClearInRange(start + i,
+                                                    npages - i)) {
+                len = static_cast<std::size_t>(*clear - (start + i));
+            }
+            repl->onAccessRange(start + i, len);
+            statPolicyAccesses += len;
+            i += len;
             continue;
         }
         // Extent of this unpinned run, optionally extended past the
@@ -164,9 +198,13 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
         // tries to pin a number of contiguous pages starting with
         // that page".
         std::size_t horizon = std::max(npages - i, cfg.prepinPages);
-        std::size_t run = 1;
-        while (run < horizon && !bits.test(start + i + run))
-            ++run;
+        std::size_t run = horizon;
+        if (horizon > 1) {
+            if (auto set = bits.firstSetInRange(start + i + 1,
+                                                horizon - 1)) {
+                run = static_cast<std::size_t>(*set - (start + i));
+            }
+        }
 
         if (!pinRun(start + i, run, res)) {
             res.ok = false;
@@ -179,10 +217,8 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
     unlockRange(start, npages);
 
     // Touch all requested pages for recency/frequency accounting.
-    for (std::size_t j = 0; j < npages; ++j) {
-        repl->onAccess(start + j);
-        ++statPolicyAccesses;
-    }
+    repl->onAccessRange(start, npages);
+    statPolicyAccesses += npages;
     statEnsureLatency.sample(sim::ticksToUs(res.cost));
     return res;
 }

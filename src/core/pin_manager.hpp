@@ -87,6 +87,14 @@ class PinManager
      */
     EnsureResult ensurePinned(mem::Vpn start, std::size_t npages);
 
+    /**
+     * Batched ensurePinned: identical modeled cost, stats, and
+     * policy end state, but the already-pinned fast path notifies
+     * the replacement policy with one onAccessRange() instead of a
+     * per-page loop. Used by the range-translation hot path.
+     */
+    EnsureResult ensurePinnedRange(mem::Vpn start, std::size_t npages);
+
     /** Mark pages as involved in an outstanding send. */
     void lockRange(mem::Vpn start, std::size_t npages);
 
@@ -147,6 +155,14 @@ class PinManager
 
     /** Pin a contiguous run of currently-unpinned pages. */
     bool pinRun(mem::Vpn start, std::size_t npages, EnsureResult &res);
+
+    /**
+     * Shared check-miss path of ensurePinned/ensurePinnedRange:
+     * pins every unpinned run in the request, skipping pinned
+     * stretches a 64-page bitmap word at a time.
+     */
+    EnsureResult ensureSlow(mem::Vpn start, std::size_t npages,
+                            mem::Vpn firstUnpinned, EnsureResult res);
 
     UtlbDriver *driver;
     mem::ProcId procId;

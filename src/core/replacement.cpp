@@ -1,7 +1,8 @@
 #include "core/replacement.hpp"
 
 #include <algorithm>
-#include <list>
+#include <array>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -48,9 +49,16 @@ toString(PolicyKind kind)
 namespace {
 
 /**
- * Recency-ordered policy core shared by LRU, MRU, and FIFO: a
- * doubly-linked list from least- to most-recently used, with an
- * index for O(1) access.
+ * Recency-ordered policy core shared by LRU, MRU, and FIFO.
+ *
+ * The recency list is an intrusive doubly-linked list threaded
+ * through a flat array of per-vpn nodes, indexed directly by vpn:
+ * no hashing on the access path, and a chain of consecutively
+ * ordered vpns (the common case after a sequential buffer touch)
+ * can be re-spliced to the tail as one segment. Node storage is
+ * paged in fixed chunks — dense chunk pointers for the low vpn
+ * range, a sparse map beyond it — so huge or scattered address
+ * spaces don't inflate memory.
  */
 class RecencyPolicy : public ReplacementPolicy
 {
@@ -60,10 +68,12 @@ class RecencyPolicy : public ReplacementPolicy
     void
     onInsert(Vpn vpn) override
     {
-        if (index.count(vpn))
+        Node &n = nodeFor(vpn);
+        if (n.tracked)
             panic("policy onInsert of tracked page");
-        order.push_back(vpn);
-        index.emplace(vpn, std::prev(order.end()));
+        n.tracked = true;
+        linkTail(vpn, n);
+        ++numTracked;
     }
 
     void
@@ -71,32 +81,50 @@ class RecencyPolicy : public ReplacementPolicy
     {
         if (policyKind == PolicyKind::Fifo)
             return;  // FIFO ignores accesses
-        auto it = index.find(vpn);
-        if (it == index.end())
+        Node *n = nodeIf(vpn);
+        if (!n || !n->tracked)
             return;
-        order.splice(order.end(), order, it->second);
+        if (tail == vpn)
+            return;  // already most recent
+        unlink(*n);
+        linkTail(vpn, *n);
+    }
+
+    void
+    onAccessRange(Vpn start, std::size_t npages) override
+    {
+        if (policyKind == PolicyKind::Fifo || npages == 0)
+            return;
+        if (npages > 1 && isChain(start, npages)) {
+            spliceChainToTail(start, start + npages - 1);
+            return;
+        }
+        for (std::size_t i = 0; i < npages; ++i)
+            onAccess(start + i);
     }
 
     void
     onRemove(Vpn vpn) override
     {
-        auto it = index.find(vpn);
-        if (it == index.end())
+        Node *n = nodeIf(vpn);
+        if (!n || !n->tracked)
             return;
-        order.erase(it->second);
-        index.erase(it);
+        unlink(*n);
+        n->tracked = false;
+        n->prev = n->next = kNil;
+        --numTracked;
     }
 
     std::optional<Vpn>
     victim(const Evictable &ok) const override
     {
         if (policyKind == PolicyKind::Mru) {
-            for (auto it = order.rbegin(); it != order.rend(); ++it) {
-                if (!ok || ok(*it))
-                    return *it;
+            for (Vpn vpn = tail; vpn != kNil; vpn = nodeIf(vpn)->prev) {
+                if (!ok || ok(vpn))
+                    return vpn;
             }
         } else {
-            for (Vpn vpn : order) {
+            for (Vpn vpn = head; vpn != kNil; vpn = nodeIf(vpn)->next) {
                 if (!ok || ok(vpn))
                     return vpn;
             }
@@ -104,16 +132,147 @@ class RecencyPolicy : public ReplacementPolicy
         return std::nullopt;
     }
 
-    std::size_t size() const override { return index.size(); }
+    std::size_t size() const override { return numTracked; }
 
-    bool contains(Vpn vpn) const override { return index.count(vpn) > 0; }
+    bool
+    contains(Vpn vpn) const override
+    {
+        const Node *n = nodeIf(vpn);
+        return n && n->tracked;
+    }
 
     PolicyKind kind() const override { return policyKind; }
 
   private:
+    static constexpr Vpn kNil = ~Vpn{0};
+    static constexpr std::size_t kChunkPages = 4096;
+    //! vpns below kDenseChunks * kChunkPages get dense chunk slots.
+    static constexpr std::size_t kDenseChunks = 4096;
+
+    struct Node {
+        Vpn prev = kNil;
+        Vpn next = kNil;
+        bool tracked = false;
+    };
+
+    using Chunk = std::array<Node, kChunkPages>;
+
+    const Node *
+    nodeIf(Vpn vpn) const
+    {
+        std::size_t c = vpn / kChunkPages;
+        if (c < kDenseChunks) {
+            if (c >= dense.size() || !dense[c])
+                return nullptr;
+            return &(*dense[c])[vpn % kChunkPages];
+        }
+        auto it = sparse.find(c);
+        if (it == sparse.end())
+            return nullptr;
+        return &(*it->second)[vpn % kChunkPages];
+    }
+
+    Node *
+    nodeIf(Vpn vpn)
+    {
+        return const_cast<Node *>(
+            static_cast<const RecencyPolicy *>(this)->nodeIf(vpn));
+    }
+
+    Node &
+    nodeFor(Vpn vpn)
+    {
+        std::size_t c = vpn / kChunkPages;
+        if (c < kDenseChunks) {
+            if (c >= dense.size())
+                dense.resize(c + 1);
+            if (!dense[c])
+                dense[c] = std::make_unique<Chunk>();
+            return (*dense[c])[vpn % kChunkPages];
+        }
+        auto &chunk = sparse[c];
+        if (!chunk)
+            chunk = std::make_unique<Chunk>();
+        return (*chunk)[vpn % kChunkPages];
+    }
+
+    void
+    unlink(Node &n)
+    {
+        if (n.prev != kNil)
+            nodeIf(n.prev)->next = n.next;
+        else
+            head = n.next;
+        if (n.next != kNil)
+            nodeIf(n.next)->prev = n.prev;
+        else
+            tail = n.prev;
+    }
+
+    void
+    linkTail(Vpn vpn, Node &n)
+    {
+        n.prev = tail;
+        n.next = kNil;
+        if (tail != kNil)
+            nodeIf(tail)->next = vpn;
+        else
+            head = vpn;
+        tail = vpn;
+    }
+
+    /**
+     * True if [start, start + npages) are all tracked and already
+     * linked consecutively (node[v].next == v + 1 for every v but the
+     * last). List links only reference tracked nodes, so checking the
+     * first node's tracked flag covers the whole run.
+     */
+    bool
+    isChain(Vpn start, std::size_t npages) const
+    {
+        const Node *n = nodeIf(start);
+        if (!n || !n->tracked)
+            return false;
+        for (Vpn v = start; v + 1 < start + npages; ++v) {
+            if (n->next != v + 1)
+                return false;
+            n = nodeIf(v + 1);
+        }
+        return true;
+    }
+
+    /**
+     * Move the already-chained segment [first, last] to the list
+     * tail in O(1). Equivalent to touching first..last in order:
+     * both produce [everything else in prior order] ++ [first..last].
+     */
+    void
+    spliceChainToTail(Vpn first, Vpn last)
+    {
+        if (tail == last)
+            return;  // segment already ends the list
+        Node *f = nodeIf(first);
+        Node *l = nodeIf(last);
+        if (f->prev != kNil)
+            nodeIf(f->prev)->next = l->next;
+        else
+            head = l->next;
+        nodeIf(l->next)->prev = f->prev;  // l->next != kNil since tail != last
+        f->prev = tail;
+        l->next = kNil;
+        if (tail != kNil)
+            nodeIf(tail)->next = first;
+        else
+            head = first;
+        tail = last;
+    }
+
     PolicyKind policyKind;
-    std::list<Vpn> order;  //!< front = least recent
-    std::unordered_map<Vpn, std::list<Vpn>::iterator> index;
+    Vpn head = kNil;    //!< least recent
+    Vpn tail = kNil;    //!< most recent
+    std::size_t numTracked = 0;
+    std::vector<std::unique_ptr<Chunk>> dense;
+    std::unordered_map<std::size_t, std::unique_ptr<Chunk>> sparse;
 };
 
 /** Frequency-ordered policy core shared by LFU and MFU. */
@@ -210,6 +369,8 @@ class RandomPolicy : public ReplacementPolicy
     }
 
     void onAccess(Vpn) override {}
+
+    void onAccessRange(Vpn, std::size_t) override {}
 
     void
     onRemove(Vpn vpn) override

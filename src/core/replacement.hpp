@@ -64,6 +64,19 @@ class ReplacementPolicy
     /** A tracked page was referenced. */
     virtual void onAccess(mem::Vpn vpn) = 0;
 
+    /**
+     * A contiguous run of pages was referenced in ascending order.
+     * Must leave the policy in exactly the state @p npages individual
+     * onAccess() calls would. The default is that per-page loop;
+     * policies override it when they can batch the update.
+     */
+    virtual void
+    onAccessRange(mem::Vpn start, std::size_t npages)
+    {
+        for (std::size_t i = 0; i < npages; ++i)
+            onAccess(start + i);
+    }
+
     /** A page was unpinned. No-op if untracked. */
     virtual void onRemove(mem::Vpn vpn) = 0;
 

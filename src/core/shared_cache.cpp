@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/audit.hpp"
+#include "check/check.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -104,6 +105,59 @@ SharedUtlbCache::lookup(ProcId pid, Vpn vpn)
         ++statMisses;
     }
     return probe;
+}
+
+RunHits
+SharedUtlbCache::lookupRun(ProcId pid, Vpn start, std::size_t n,
+                           Pfn *pfns, LineRef *first_hit)
+{
+    UTLB_ASSERT(config.assoc == 1,
+                "lookupRun requires a direct-mapped cache");
+    RunHits out;
+    out.perHitCost = timings->cacheHitCost;
+
+    // Consecutive vpns map to consecutive sets (the index is a sum
+    // modulo numSets), so the run walks the line array with an
+    // increment instead of re-hashing every page.
+    std::size_t set = setIndex(pid, start);
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+        Line &line = lines[set];
+        if (!(line.valid && line.pid == pid && line.vpn == start + i))
+            break;  // first miss: record nothing, caller re-probes
+        line.lastUse = ++useClock;
+        pfns[i] = line.pfn;
+        if (i == 0 && first_hit)
+            first_hit->line = &line;
+        if (++set == numSets)
+            set = 0;
+    }
+
+    out.hits = i;
+    if (i > 0) {
+        out.cost = static_cast<Tick>(i) * out.perHitCost;
+        statHits += i;
+        statProbeLatency.sampleN(sim::ticksToUs(out.perHitCost), i);
+    }
+    return out;
+}
+
+bool
+SharedUtlbCache::hitViaRef(LineRef &ref, ProcId pid, Vpn vpn,
+                           CacheProbe &out)
+{
+    Line *line = ref.line;
+    if (!line || !line->valid || line->pid != pid || line->vpn != vpn)
+        return false;
+    // A ref only exists for direct-mapped caches (lookupRun), where
+    // every hit is a first-way probe at the constant hit cost.
+    out.hit = true;
+    out.pfn = line->pfn;
+    out.cost = timings->cacheHitCost;
+    line->lastUse = ++useClock;
+    ++statHits;
+    statProbeLatency.sample(sim::ticksToUs(out.cost));
+    return true;
 }
 
 std::optional<Pfn>

@@ -63,6 +63,13 @@ struct CacheProbe {
     sim::Tick cost = 0;
 };
 
+/** Outcome of a batched run probe (lookupRun). */
+struct RunHits {
+    std::size_t hits = 0;     //!< consecutive hits before first miss
+    sim::Tick cost = 0;       //!< total modeled cost of those hits
+    sim::Tick perHitCost = 0; //!< modeled cost of each hit probe
+};
+
 /**
  * Why a translation is being installed (§6.4).
  *
@@ -106,6 +113,44 @@ class SharedUtlbCache
 
     /** Probe without updating state or counters. */
     std::optional<mem::Pfn> peek(mem::ProcId pid, mem::Vpn vpn) const;
+
+  private:
+    struct Line;
+
+  public:
+    /**
+     * A stable handle to the line that served a hit, letting a
+     * repeat lookup of the same (pid, vpn) skip the probe. Obtained
+     * from lookupRun(); becomes a guaranteed miss (never a wrong
+     * hit) if the line is since evicted or retagged.
+     */
+    class LineRef
+    {
+        friend class SharedUtlbCache;
+        Line *line = nullptr;
+    };
+
+    /**
+     * Probe a run of consecutive pages of one process, stopping at
+     * (and recording nothing for) the first miss. Slot i of @p pfns
+     * receives the frame of vpn + i for each hit. Stats and LRU
+     * state end up exactly as the equivalent lookup() sequence over
+     * the hit prefix would leave them. If @p first_hit is non-null
+     * and the first page hits, it is filled for later hitViaRef()
+     * shortcuts. Requires assoc() == 1 (the per-way cost model makes
+     * wider probes take the page-at-a-time path).
+     */
+    RunHits lookupRun(mem::ProcId pid, mem::Vpn start, std::size_t n,
+                      mem::Pfn *pfns, LineRef *first_hit = nullptr);
+
+    /**
+     * Re-probe via a LineRef from an earlier lookupRun. On a still-
+     * valid match, records the hit (stats + LRU) exactly like
+     * lookup() and returns true; on any mismatch returns false with
+     * no state change, and the caller falls back to a full probe.
+     */
+    bool hitViaRef(LineRef &ref, mem::ProcId pid, mem::Vpn vpn,
+                   CacheProbe &out);
 
     /**
      * Install a translation, evicting the set's LRU entry if the

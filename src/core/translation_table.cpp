@@ -1,6 +1,7 @@
 #include "core/translation_table.hpp"
 
 #include <cstring>
+#include <span>
 
 #include "check/audit.hpp"
 #include "check/check.hpp"
@@ -106,6 +107,112 @@ constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
 
 } // namespace
 
+// ---- LeafDir --------------------------------------------------------
+
+HostPageTable::DirEntry *
+HostPageTable::LeafDir::find(std::uint64_t key)
+{
+    return const_cast<DirEntry *>(
+        static_cast<const LeafDir *>(this)->find(key));
+}
+
+const HostPageTable::DirEntry *
+HostPageTable::LeafDir::find(std::uint64_t key) const
+{
+    if (slots.empty())
+        return nullptr;
+    std::size_t i = probeStart(key);
+    for (;;) {
+        const Slot &s = slots[i];
+        if (s.key == key)
+            return &s.de;
+        if (s.key == kEmptyKey)
+            return nullptr;
+        i = (i + 1) & (slots.size() - 1);
+    }
+}
+
+HostPageTable::DirEntry &
+HostPageTable::LeafDir::insertNoGrow(std::uint64_t key)
+{
+    std::size_t i = probeStart(key);
+    std::size_t tomb = ~std::size_t{0};
+    for (;;) {
+        Slot &s = slots[i];
+        if (s.key == kEmptyKey) {
+            if (tomb != ~std::size_t{0}) {
+                i = tomb;
+                --tombs;
+            }
+            slots[i].key = key;
+            slots[i].de = DirEntry{};
+            ++live;
+            return slots[i].de;
+        }
+        if (s.key == kTombKey && tomb == ~std::size_t{0})
+            tomb = i;
+        i = (i + 1) & (slots.size() - 1);
+    }
+}
+
+HostPageTable::DirEntry &
+HostPageTable::LeafDir::findOrCreate(std::uint64_t key, bool &inserted)
+{
+    if (DirEntry *de = find(key)) {
+        inserted = false;
+        return *de;
+    }
+    // Keep the load factor (live + tombstones) under 3/4; a
+    // tombstone-heavy table rehashes in place at the same capacity.
+    if ((live + tombs + 1) * 4 >= slots.size() * 3)
+        grow();
+    inserted = true;
+    return insertNoGrow(key);
+}
+
+void
+HostPageTable::LeafDir::erase(std::uint64_t key)
+{
+    if (slots.empty())
+        return;
+    std::size_t i = probeStart(key);
+    for (;;) {
+        Slot &s = slots[i];
+        if (s.key == key) {
+            s.key = kTombKey;
+            s.de = DirEntry{};
+            --live;
+            ++tombs;
+            return;
+        }
+        if (s.key == kEmptyKey)
+            return;
+        i = (i + 1) & (slots.size() - 1);
+    }
+}
+
+void
+HostPageTable::LeafDir::grow()
+{
+    std::size_t new_cap;
+    if (slots.empty())
+        new_cap = 16;
+    else if (live * 2 >= slots.size())
+        new_cap = slots.size() * 2;
+    else
+        new_cap = slots.size();  // tombstone cleanup only
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(new_cap, Slot{});
+    live = 0;
+    tombs = 0;
+    for (Slot &s : old) {
+        if (s.key <= kMaxKey)
+            insertNoGrow(s.key) = std::move(s.de);
+    }
+}
+
+// ---- HostPageTable --------------------------------------------------
+
 HostPageTable::HostPageTable(mem::PhysMemory &host_mem, mem::ProcId pid,
                              nic::Sram *board_sram,
                              std::size_t dir_slots)
@@ -125,28 +232,28 @@ HostPageTable::HostPageTable(mem::PhysMemory &host_mem, mem::ProcId pid,
 
 HostPageTable::~HostPageTable()
 {
-    for (auto &[idx, de] : dir) {
+    dir.forEach([this](std::uint64_t, DirEntry &de) {
         if (!de.swapped && de.leafFrame != mem::kInvalidPfn)
             hostMem->freeFrame(de.leafFrame);
-    }
+    });
 }
 
 HostPageTable::DirEntry *
 HostPageTable::residentLeaf(Vpn vpn)
 {
-    auto it = dir.find(dirIndexOf(vpn));
-    if (it == dir.end() || it->second.swapped)
+    DirEntry *de = dir.find(dirIndexOf(vpn));
+    if (!de || de->swapped)
         return nullptr;
-    return &it->second;
+    return de;
 }
 
 const HostPageTable::DirEntry *
 HostPageTable::residentLeaf(Vpn vpn) const
 {
-    auto it = dir.find(dirIndexOf(vpn));
-    if (it == dir.end() || it->second.swapped)
+    const DirEntry *de = dir.find(dirIndexOf(vpn));
+    if (!de || de->swapped)
         return nullptr;
-    return &it->second;
+    return de;
 }
 
 std::uint64_t
@@ -159,12 +266,12 @@ HostPageTable::entryAddr(const DirEntry &de, Vpn vpn) const
 bool
 HostPageTable::set(Vpn vpn, Pfn pfn)
 {
-    auto [it, inserted] = dir.try_emplace(dirIndexOf(vpn));
-    DirEntry &de = it->second;
+    bool inserted = false;
+    DirEntry &de = dir.findOrCreate(dirIndexOf(vpn), inserted);
     if (inserted) {
         auto frame = hostMem->allocFrame(kKernelPid);
         if (!frame) {
-            dir.erase(it);
+            dir.erase(dirIndexOf(vpn));
             return false;
         }
         hostMem->zeroFrame(*frame);
@@ -230,26 +337,38 @@ std::vector<std::optional<Pfn>>
 HostPageTable::readRun(Vpn vpn, std::size_t n) const
 {
     std::vector<std::optional<Pfn>> out;
+    readRun(vpn, n, out);
+    return out;
+}
+
+void
+HostPageTable::readRun(Vpn vpn, std::size_t n,
+                       std::vector<std::optional<Pfn>> &out) const
+{
+    out.clear();
     const DirEntry *de = residentLeaf(vpn);
     if (!de)
-        return out;
+        return;
 
     ++statRunReads;
     std::size_t in_leaf = kLeafEntries
         - static_cast<std::size_t>(vpn % kLeafEntries);
     std::size_t count = std::min(n, in_leaf);
     out.reserve(count);
+
+    // The run never crosses the leaf boundary, so it is one
+    // physically contiguous block — read it in a single transfer,
+    // like the DMA it models.
+    std::uint8_t buf[mem::kPageSize];
+    hostMem->read(entryAddr(*de, vpn), std::span(buf, count * 8));
     for (std::size_t i = 0; i < count; ++i) {
-        std::uint8_t buf[8];
-        hostMem->read(entryAddr(*de, vpn + i), buf);
         std::uint64_t word;
-        std::memcpy(&word, buf, 8);
+        std::memcpy(&word, buf + i * 8, 8);
         if (word & kValidBit)
             out.emplace_back(word & ~kValidBit);
         else
             out.emplace_back(std::nullopt);
     }
-    return out;
 }
 
 bool
@@ -270,10 +389,10 @@ HostPageTable::swapOutLeaf(Vpn vpn)
 bool
 HostPageTable::swapInLeaf(Vpn vpn)
 {
-    auto it = dir.find(dirIndexOf(vpn));
-    if (it == dir.end() || !it->second.swapped)
+    DirEntry *found = dir.find(dirIndexOf(vpn));
+    if (!found || !found->swapped)
         return false;
-    DirEntry &de = it->second;
+    DirEntry &de = *found;
     auto frame = hostMem->allocFrame(kKernelPid);
     if (!frame)
         return false;
@@ -289,8 +408,8 @@ HostPageTable::swapInLeaf(Vpn vpn)
 bool
 HostPageTable::leafSwappedOut(Vpn vpn) const
 {
-    auto it = dir.find(dirIndexOf(vpn));
-    return it != dir.end() && it->second.swapped;
+    const DirEntry *de = dir.find(dirIndexOf(vpn));
+    return de && de->swapped;
 }
 
 void
@@ -299,7 +418,7 @@ HostPageTable::audit(check::AuditReport &report) const
     report.component("host-page-table", procId);
 
     std::size_t live = 0;
-    for (const auto &[idx, de] : dir) {
+    dir.forEach([&](std::uint64_t idx, const DirEntry &de) {
         if (de.swapped) {
             report.require(de.leafFrame == mem::kInvalidPfn,
                            "swapped leaf %llu still names frame %llu",
@@ -319,12 +438,12 @@ HostPageTable::audit(check::AuditReport &report) const
                 if (word & kValidBit)
                     ++live;
             }
-            continue;
+            return;
         }
         if (de.leafFrame == mem::kInvalidPfn) {
             report.addf("resident leaf %llu has no frame",
                         static_cast<unsigned long long>(idx));
-            continue;
+            return;
         }
         report.require(hostMem->isAllocated(de.leafFrame),
                        "leaf %llu frame %llu is not allocated",
@@ -345,7 +464,7 @@ HostPageTable::audit(check::AuditReport &report) const
             if (word & kValidBit)
                 ++live;
         }
-    }
+    });
     report.require(live == numValid,
                    "cached valid count %zu != leaf recount %zu",
                    numValid, live);

@@ -26,8 +26,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "check/test_tamper.hpp"
@@ -160,6 +158,15 @@ class HostPageTable
     std::vector<std::optional<mem::Pfn>>
     readRun(mem::Vpn vpn, std::size_t n) const;
 
+    /**
+     * Allocation-free readRun variant for the miss hot path: fills
+     * @p out (cleared first, capacity reused across calls) instead
+     * of returning a fresh vector, and reads the whole run from the
+     * leaf frame as one contiguous block.
+     */
+    void readRun(mem::Vpn vpn, std::size_t n,
+                 std::vector<std::optional<mem::Pfn>> &out) const;
+
     /** Number of valid entries. */
     std::size_t validEntries() const { return numValid; }
 
@@ -208,6 +215,71 @@ class HostPageTable
         std::vector<std::uint8_t> diskBlock;    //!< contents if swapped
     };
 
+    /**
+     * Flat open-addressed map from leaf index (vpn / kLeafEntries)
+     * to DirEntry: linear probing over a power-of-two slot array,
+     * tombstones on erase. The directory sits on the NIC miss path,
+     * so lookups should cost one multiply and a short contiguous
+     * scan rather than unordered_map's bucket-pointer chase.
+     */
+    class LeafDir
+    {
+      public:
+        DirEntry *find(std::uint64_t key);
+        const DirEntry *find(std::uint64_t key) const;
+
+        /** Locate @p key, default-constructing its entry if absent. */
+        DirEntry &findOrCreate(std::uint64_t key, bool &inserted);
+
+        void erase(std::uint64_t key);
+
+        std::size_t size() const { return live; }
+
+        template <typename Fn>
+        void
+        forEach(Fn &&fn)
+        {
+            for (Slot &s : slots) {
+                if (s.key <= kMaxKey)
+                    fn(s.key, s.de);
+            }
+        }
+
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (const Slot &s : slots) {
+                if (s.key <= kMaxKey)
+                    fn(s.key, s.de);
+            }
+        }
+
+      private:
+        static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+        static constexpr std::uint64_t kTombKey = ~std::uint64_t{0} - 1;
+        static constexpr std::uint64_t kMaxKey = kTombKey - 1;
+
+        struct Slot {
+            std::uint64_t key = kEmptyKey;
+            DirEntry de;
+        };
+
+        std::size_t probeStart(std::uint64_t key) const
+        {
+            return static_cast<std::size_t>(
+                       key * 0x9E3779B97F4A7C15ull)
+                & (slots.size() - 1);
+        }
+
+        DirEntry &insertNoGrow(std::uint64_t key);
+        void grow();
+
+        std::vector<Slot> slots;
+        std::size_t live = 0;
+        std::size_t tombs = 0;
+    };
+
     std::uint64_t dirIndexOf(mem::Vpn vpn) const
     {
         return vpn / kLeafEntries;
@@ -220,7 +292,7 @@ class HostPageTable
 
     mem::PhysMemory *hostMem;
     mem::ProcId procId;
-    std::unordered_map<std::uint64_t, DirEntry> dir;
+    LeafDir dir;
     std::size_t numValid = 0;
 
     sim::StatGroup statsGrp;

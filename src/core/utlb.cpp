@@ -53,7 +53,8 @@ UserUtlb::nicTranslateImpl(Vpn vpn)
     out.miss = true;
     ++statMisses;
     HostPageTable &table = driver->pageTable(procId);
-    auto run = table.readRun(vpn, cfg.prefetchEntries);
+    table.readRun(vpn, cfg.prefetchEntries, runBuf);
+    auto &run = runBuf;
 
     if (run.empty() || !run[0]) {
         // The page is not pinned: only reachable when the host-side
@@ -78,7 +79,7 @@ UserUtlb::nicTranslateImpl(Vpn vpn)
         // The host pinned exactly one page for us; fetch that single
         // repaired entry rather than re-charging a full prefetch-width
         // DMA for neighbours we already know are absent.
-        run = table.readRun(vpn, 1);
+        table.readRun(vpn, 1, runBuf);
     }
 
     // Install the missing entry plus any valid prefetched neighbours
@@ -120,6 +121,25 @@ UserUtlb::nicTranslateImpl(Vpn vpn)
     return out;
 }
 
+namespace {
+
+/** Copy an EnsureResult's accounting into a Translation. */
+void
+fillHostHalf(Translation &tr, const EnsureResult &host)
+{
+    tr.hostCost = host.cost;
+    tr.pinCost = host.pinCost;
+    tr.unpinCost = host.unpinCost;
+    tr.pinIoctls = host.pinIoctls;
+    tr.unpinIoctls = host.unpinIoctls;
+    tr.checkMiss = host.checkMiss;
+    tr.pagesPinned = host.pagesPinned;
+    tr.pagesUnpinned = host.pagesUnpinned;
+    tr.ok = host.ok;
+}
+
+} // namespace
+
 Translation
 UserUtlb::translate(mem::VirtAddr va, std::size_t nbytes)
 {
@@ -129,26 +149,104 @@ UserUtlb::translate(mem::VirtAddr va, std::size_t nbytes)
         return tr;
 
     EnsureResult host = prepare(va, nbytes);
-    tr.hostCost = host.cost;
-    tr.checkMiss = host.checkMiss;
-    tr.pagesPinned = host.pagesPinned;
-    tr.pagesUnpinned = host.pagesUnpinned;
-    if (!host.ok) {
-        tr.ok = false;
+    fillHostHalf(tr, host);
+    if (!host.ok)
         return tr;
-    }
 
     Vpn start = mem::pageOf(va);
     tr.pageAddrs.reserve(npages);
     for (std::size_t i = 0; i < npages; ++i) {
         NicLookup nl = nicTranslate(start + i);
         tr.nicCost += nl.cost;
-        if (nl.miss)
+        if (nl.miss) {
             ++tr.niMisses;
+            tr.missPages.push_back(static_cast<std::uint32_t>(i));
+        }
         if (nl.fault)
             ++tr.faults;
         tr.pageAddrs.push_back(mem::frameAddr(nl.pfn));
     }
+    return tr;
+}
+
+Translation
+UserUtlb::translateRange(mem::VirtAddr va, std::size_t nbytes)
+{
+    Translation tr;
+    std::size_t npages = mem::pagesSpanned(va, nbytes);
+    if (npages == 0)
+        return tr;
+
+    Vpn start = mem::pageOf(va);
+    EnsureResult host = pinMgr.ensurePinnedRange(start, npages);
+    fillHostHalf(tr, host);
+    if (!host.ok)
+        return tr;
+
+    // The batched walk needs every hit to cost the same single probe
+    // (direct-mapped) and emits no per-page trace events; otherwise
+    // run the exact page-at-a-time loop.
+    if (tracer != nullptr || nicCache->assoc() != 1) {
+        tr.pageAddrs.reserve(npages);
+        for (std::size_t i = 0; i < npages; ++i) {
+            NicLookup nl = nicTranslate(start + i);
+            tr.nicCost += nl.cost;
+            if (nl.miss) {
+                ++tr.niMisses;
+                tr.missPages.push_back(static_cast<std::uint32_t>(i));
+            }
+            if (nl.fault)
+                ++tr.faults;
+            tr.pageAddrs.push_back(mem::frameAddr(nl.pfn));
+        }
+        return tr;
+    }
+
+    tr.pageAddrs.resize(npages);
+    // Pfn and PhysAddr are the same 64-bit type: collect pfns in
+    // place, then convert to frame addresses in one pass at the end.
+    mem::Pfn *slots = tr.pageAddrs.data();
+
+    std::size_t i = 0;
+    CacheProbe fast;
+    if (nicCache->hitViaRef(l0, procId, start, fast)) {
+        // Same first page as a recent call: the L0 handle revalidated,
+        // recorded the hit, and spared us the cache probe.
+        statTranslateLatency.sample(sim::ticksToUs(fast.cost));
+        tr.nicCost += fast.cost;
+        slots[0] = fast.pfn;
+        i = 1;
+    }
+
+    while (i < npages) {
+        RunHits run = nicCache->lookupRun(procId, start + i, npages - i,
+                                          slots + i,
+                                          i == 0 ? &l0 : nullptr);
+        if (run.hits > 0) {
+            // Every hit in the run has the same modeled latency;
+            // sampleN folds them without perturbing the histogram.
+            statTranslateLatency.sampleN(sim::ticksToUs(run.perHitCost),
+                                         run.hits);
+            tr.nicCost += run.cost;
+            i += run.hits;
+            continue;
+        }
+        // First page of the window misses: take the one-page miss
+        // path (its prefetch-width DMA install refills the cache, so
+        // a stretch of contiguous misses costs one wide fetch per
+        // prefetchEntries pages, not one per page).
+        NicLookup nl = nicTranslate(start + i);
+        tr.nicCost += nl.cost;
+        ++tr.niMisses;
+        tr.missPages.push_back(static_cast<std::uint32_t>(i));
+        if (nl.fault)
+            ++tr.faults;
+        slots[i] = nl.pfn;
+        ++i;
+    }
+
+    for (std::size_t p = 0; p < npages; ++p)
+        slots[p] = mem::frameAddr(slots[p]);
     return tr;
 }
 

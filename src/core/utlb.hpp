@@ -26,6 +26,7 @@
 #define UTLB_CORE_UTLB_HPP
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -65,11 +66,18 @@ struct Translation {
     std::vector<mem::PhysAddr> pageAddrs;  //!< one per page
     sim::Tick hostCost = 0;
     sim::Tick nicCost = 0;
+    sim::Tick pinCost = 0;        //!< portion of hostCost in pin ioctls
+    sim::Tick unpinCost = 0;      //!< portion of hostCost in unpins
     bool checkMiss = false;
     std::size_t niMisses = 0;
     std::size_t pagesPinned = 0;
     std::size_t pagesUnpinned = 0;
+    std::size_t pinIoctls = 0;
+    std::size_t unpinIoctls = 0;
     std::size_t faults = 0;
+    /** Indices (page offsets in the buffer) that missed in the NIC
+     *  cache, ascending. */
+    std::vector<std::uint32_t> missPages;
 };
 
 /**
@@ -100,6 +108,19 @@ class UserUtlb
     /** Both halves over a whole buffer. */
     Translation translate(mem::VirtAddr va, std::size_t nbytes);
 
+    /**
+     * Batched translate(): identical results, modeled costs, and
+     * stats as translate() over the same buffer, but the NIC half
+     * probes the cache across the whole run at once (lookupRun),
+     * serves repeated same-page lookups from a per-process MRU "L0"
+     * line handle, and lets each miss's prefetch-width DMA refill
+     * the run so contiguous misses coalesce into wide fetches. Falls
+     * back to the per-page loop when a tracer is attached or the
+     * cache is set-associative (per-way probe costs need per-page
+     * accounting).
+     */
+    Translation translateRange(mem::VirtAddr va, std::size_t nbytes);
+
     PinManager &pinManager() { return pinMgr; }
     const PinManager &pinManager() const { return pinMgr; }
 
@@ -127,6 +148,12 @@ class UserUtlb
     UtlbConfig cfg;
     PinManager pinMgr;
     sim::Tracer *tracer = nullptr;
+
+    /** Reused readRun buffer: the miss path must not allocate. */
+    std::vector<std::optional<mem::Pfn>> runBuf;
+
+    /** MRU "L0" slot: the line that served the last first-page hit. */
+    SharedUtlbCache::LineRef l0;
 
     sim::StatGroup statsGrp;
     sim::Counter statMisses{&statsGrp, "nic_misses",

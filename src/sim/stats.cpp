@@ -99,6 +99,29 @@ Histogram::sample(double v)
 }
 
 void
+Histogram::sampleN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    total += n;
+    // Repeated addition, not sum += v * n: the contract is bit-exact
+    // equality with n individual sample() calls, and fp addition is
+    // not distributive over multiplication.
+    for (std::uint64_t i = 0; i < n; ++i)
+        sum += v;
+    minVal = std::min(minVal, v);
+    maxVal = std::max(maxVal, v);
+    if (v >= maxValBound || v < 0.0) {
+        overflow += n;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(v / bucketWidth);
+    if (idx >= counts.size())
+        idx = counts.size() - 1;
+    counts[idx] += n;
+}
+
+void
 Histogram::print(std::ostream &os) const
 {
     os << statNameWidth(name()) << "hist(" << total << " samples, mean "

@@ -110,6 +110,14 @@ class Histogram : public StatBase
 
     void sample(double v);
 
+    /**
+     * Record @p n samples of the same value @p v. State-identical to
+     * calling sample(v) @p n times — including the floating-point
+     * accumulation order of the running sum — so batched hot paths
+     * can fold equal-valued samples without perturbing the stats.
+     */
+    void sampleN(double v, std::uint64_t n);
+
     std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
     std::uint64_t overflowCount() const { return overflow; }
     std::uint64_t samples() const { return total; }

@@ -57,6 +57,9 @@ usage()
         "  --memlimit P    per-process pin budget in pages\n"
         "  --policy NAME   lru|mru|lfu|mfu|fifo|random\n"
         "  --prepin N      sequential pre-pin batch (default 1)\n"
+        "  --batch         drive the UTLB replay through\n"
+        "                  translateRange() (identical modeled\n"
+        "                  results; reports simulator wall-clock)\n"
         "  --seed S        RNG seed (default 12345)\n"
         "  --warmup N      lookups excluded from statistics\n"
         "  --synthetic K   micro-workload: uniform|stream|hotcold\n"
@@ -141,6 +144,12 @@ report(const char *mech, const tlbsim::SimResult &r, bool utlb)
     if (!utlb)
         add("interrupts", sim::TextTable::num(r.interrupts));
     add("invariant audits", sim::TextTable::num(r.audits));
+    add("wall clock (ms)",
+        sim::TextTable::num(r.wallNs / 1e6, 2));
+    if (r.wallNs > 0)
+        add("sim translations/sec",
+            sim::TextTable::num(
+                static_cast<double>(r.probes) * 1e9 / r.wallNs, 0));
     t.print(std::cout);
 }
 
@@ -184,6 +193,8 @@ main(int argc, char **argv)
             cfg.policy = core::policyFromName(next());
         } else if (arg == "--prepin") {
             cfg.prepinPages = std::stoul(next());
+        } else if (arg == "--batch") {
+            cfg.batchedRange = true;
         } else if (arg == "--seed") {
             cfg.seed = std::stoull(next());
         } else if (arg == "--warmup") {

@@ -1,5 +1,6 @@
 #include "tlbsim/simulator.hpp"
 
+#include <chrono>
 #include <list>
 #include <memory>
 #include <sstream>
@@ -124,6 +125,7 @@ runJson(const char *mechanism, const SimConfig &cfg,
     w.field("mem_limit_pages", std::uint64_t{cfg.memLimitPages});
     w.field("policy", core::toString(cfg.policy));
     w.field("prepin_pages", std::uint64_t{cfg.prepinPages});
+    w.field("batched_range", cfg.batchedRange);
     w.field("seed", cfg.seed);
     w.field("warmup_lookups", std::uint64_t{cfg.warmupLookups});
     w.endObject();
@@ -146,6 +148,7 @@ runJson(const char *mechanism, const SimConfig &cfg,
     w.field("capacity_misses", res.capacityMisses);
     w.field("conflict_misses", res.conflictMisses);
     w.field("audits", res.audits);
+    w.field("wall_ns", res.wallNs);
     w.field("check_miss_per_lookup", res.checkMissPerLookup());
     w.field("ni_miss_per_lookup", res.niMissPerLookup());
     w.field("unpins_per_lookup", res.unpinsPerLookup());
@@ -230,6 +233,7 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
     MissClassifier classifier(cfg.cache.entries);
 
     std::size_t seen = 0;
+    auto wall_start = std::chrono::steady_clock::now();
     for (const auto &rec : trace) {
         core::UserUtlb &utlb = get_utlb(rec.pid);
         std::size_t npages = pagesSpanned(rec.va, rec.nbytes);
@@ -238,51 +242,95 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
         bool warm = seen++ >= cfg.warmupLookups;
         if (warm)
             ++res.lookups;
-
-        core::EnsureResult host = utlb.prepare(rec.va, rec.nbytes);
-        if (warm) {
-            // Per-lookup host time uses the §6.2 cost equation: the
-            // flat 0.5 us user-level charge (which subsumes the
-            // bitmap scan) plus the measured pin/unpin ioctl costs.
-            res.hostTime += costs.userCheck() + host.pinCost
-                + host.unpinCost;
-            res.pinTime += host.pinCost;
-            res.unpinTime += host.unpinCost;
-            if (host.checkMiss)
-                ++res.checkMissLookups;
-            res.pagesPinned += host.pagesPinned;
-            res.pagesUnpinned += host.pagesUnpinned;
-            res.pinIoctls += host.pinIoctls;
-        }
-        if (!host.ok) {
-            sim::warn("UTLB sim: pin failed for pid %u va %llx",
-                      rec.pid,
-                      static_cast<unsigned long long>(rec.va));
-            continue;
-        }
-
-        bool any_miss = false;
         Vpn start = pageOf(rec.va);
-        for (std::size_t i = 0; i < npages; ++i) {
-            // Classification must see the probe outcome before the
-            // lookup's side effects, so peek first.
-            bool would_hit =
-                cache.peek(rec.pid, start + i).has_value();
-            if (warm)
-                classifier.probe(rec.pid, start + i, !would_hit, res);
 
-            core::NicLookup nl = utlb.nicTranslate(start + i);
+        if (cfg.batchedRange) {
+            // Whole-buffer fast path. The modeled costs and stats it
+            // accrues are identical to the per-page branch below (the
+            // golden-equivalence test holds both against each other);
+            // the classifier is replayed from the recorded miss
+            // indices, which match the interleaved peek outcomes.
+            core::Translation t = utlb.translateRange(rec.va,
+                                                      rec.nbytes);
             if (warm) {
-                ++res.probes;
-                res.nicTime += nl.cost;
-                if (nl.miss) {
-                    ++res.niMissProbes;
-                    any_miss = true;
+                res.hostTime += costs.userCheck() + t.pinCost
+                    + t.unpinCost;
+                res.pinTime += t.pinCost;
+                res.unpinTime += t.unpinCost;
+                if (t.checkMiss)
+                    ++res.checkMissLookups;
+                res.pagesPinned += t.pagesPinned;
+                res.pagesUnpinned += t.pagesUnpinned;
+                res.pinIoctls += t.pinIoctls;
+            }
+            if (!t.ok) {
+                sim::warn("UTLB sim: pin failed for pid %u va %llx",
+                          rec.pid,
+                          static_cast<unsigned long long>(rec.va));
+                continue;
+            }
+            if (warm) {
+                res.probes += npages;
+                res.nicTime += t.nicCost;
+                res.niMissProbes += t.missPages.size();
+                if (!t.missPages.empty())
+                    ++res.niMissLookups;
+                std::size_t mi = 0;
+                for (std::size_t i = 0; i < npages; ++i) {
+                    bool missed = mi < t.missPages.size()
+                        && t.missPages[mi] == i;
+                    if (missed)
+                        ++mi;
+                    classifier.probe(rec.pid, start + i, missed, res);
                 }
             }
+        } else {
+            core::EnsureResult host = utlb.prepare(rec.va, rec.nbytes);
+            if (warm) {
+                // Per-lookup host time uses the §6.2 cost equation:
+                // the flat 0.5 us user-level charge (which subsumes
+                // the bitmap scan) plus the measured pin/unpin ioctl
+                // costs.
+                res.hostTime += costs.userCheck() + host.pinCost
+                    + host.unpinCost;
+                res.pinTime += host.pinCost;
+                res.unpinTime += host.unpinCost;
+                if (host.checkMiss)
+                    ++res.checkMissLookups;
+                res.pagesPinned += host.pagesPinned;
+                res.pagesUnpinned += host.pagesUnpinned;
+                res.pinIoctls += host.pinIoctls;
+            }
+            if (!host.ok) {
+                sim::warn("UTLB sim: pin failed for pid %u va %llx",
+                          rec.pid,
+                          static_cast<unsigned long long>(rec.va));
+                continue;
+            }
+
+            bool any_miss = false;
+            for (std::size_t i = 0; i < npages; ++i) {
+                // Classification must see the probe outcome before
+                // the lookup's side effects, so peek first.
+                bool would_hit =
+                    cache.peek(rec.pid, start + i).has_value();
+                if (warm)
+                    classifier.probe(rec.pid, start + i, !would_hit,
+                                     res);
+
+                core::NicLookup nl = utlb.nicTranslate(start + i);
+                if (warm) {
+                    ++res.probes;
+                    res.nicTime += nl.cost;
+                    if (nl.miss) {
+                        ++res.niMissProbes;
+                        any_miss = true;
+                    }
+                }
+            }
+            if (warm && any_miss)
+                ++res.niMissLookups;
         }
-        if (warm && any_miss)
-            ++res.niMissLookups;
 
         if (cfg.auditEvery != 0 && seen % cfg.auditEvery == 0) {
             // Periodic self-check (--audit-every): re-derive every
@@ -296,6 +344,9 @@ simulateUtlb(const trace::Trace &trace, const SimConfig &cfg)
             ++res.audits;
         }
     }
+    res.wallNs = std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
     res.statsJson = runJson("utlb", cfg, res, root);
     return res;
 }
@@ -338,6 +389,7 @@ simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
     MissClassifier classifier(cfg.cache.entries);
 
     std::size_t seen = 0;
+    auto wall_start = std::chrono::steady_clock::now();
     for (const auto &rec : trace) {
         ensure_proc(rec.pid);
         std::size_t npages = pagesSpanned(rec.va, rec.nbytes);
@@ -387,6 +439,9 @@ simulateIntr(const trace::Trace &trace, const SimConfig &cfg)
             ++res.audits;
         }
     }
+    res.wallNs = std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
     res.statsJson = runJson("intr", cfg, res, root);
     return res;
 }

@@ -47,6 +47,14 @@ struct SimConfig {
     /** Sequential pre-pin batch (UTLB only; §6.5). */
     std::size_t prepinPages = 1;
 
+    /**
+     * Drive the UTLB replay through translateRange() instead of the
+     * per-page loop (UTLB only). Modeled costs and stats are
+     * identical by construction; only the simulator's wall-clock
+     * changes.
+     */
+    bool batchedRange = false;
+
     /** Seed for stochastic policies. */
     std::uint64_t seed = 12345;
 
@@ -100,6 +108,10 @@ struct SimResult {
     std::uint64_t conflictMisses = 0;
 
     std::uint64_t audits = 0;  //!< invariant sweeps run (all clean)
+
+    /** Wall-clock time of the replay loop (simulator speed, not a
+     *  modeled quantity). */
+    double wallNs = 0;
 
     /**
      * The run serialized as one "utlb-stats-v1" JSON object:

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Golden-equivalence suite for the batched translation path.
+ *
+ * translateRange() promises bit-identical results, modeled costs,
+ * and statistics to a page-at-a-time translate() loop for every
+ * configuration — the batching may only change the simulator's
+ * wall-clock. These tests hold the two paths against each other over
+ * randomized workloads and a config matrix (prefetch width, memory
+ * limit, associativity, policy), comparing every Translation field
+ * and the full serialized stats tree.
+ *
+ * The word-level PinBitVector range primitives the batched path is
+ * built on (allSetInRange / firstClearInRange / firstSetInRange) are
+ * also property-tested here against a brute-force bit loop, and the
+ * RecencyPolicy's spliced onAccessRange() against per-page
+ * onAccess().
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bitvector.hpp"
+#include "core/driver.hpp"
+#include "core/replacement.hpp"
+#include "core/utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace utlb::core;
+using utlb::mem::Vpn;
+using utlb::sim::Rng;
+
+// ---------------------------------------------------------------------
+// PinBitVector range primitives vs brute force
+// ---------------------------------------------------------------------
+
+TEST(BitVectorRange, PrimitivesMatchBruteForce)
+{
+    Rng rng(0xb17b17);
+    for (int round = 0; round < 200; ++round) {
+        PinBitVector bits;
+        // Random pattern straddling several 64-bit words, with runs.
+        Vpn base = rng.below(500);
+        std::size_t span = 1 + rng.below(300);
+        for (Vpn v = base; v < base + span; ++v) {
+            if (rng.below(100) < 60)
+                bits.set(v);
+        }
+        Vpn qstart = base > 5 ? base - 5 : 0;
+        std::size_t qlen = span + 10;
+
+        // Brute-force references.
+        bool all = true;
+        Vpn firstClear = 0, firstSet = 0;
+        bool haveClear = false, haveSet = false;
+        for (Vpn v = qstart; v < qstart + qlen; ++v) {
+            if (bits.test(v)) {
+                if (!haveSet) {
+                    haveSet = true;
+                    firstSet = v;
+                }
+            } else {
+                all = false;
+                if (!haveClear) {
+                    haveClear = true;
+                    firstClear = v;
+                }
+            }
+        }
+
+        EXPECT_EQ(bits.allSetInRange(qstart, qlen), all);
+        auto clear = bits.firstClearInRange(qstart, qlen);
+        ASSERT_EQ(clear.has_value(), haveClear);
+        if (haveClear) {
+            EXPECT_EQ(*clear, firstClear);
+        }
+        auto set = bits.firstSetInRange(qstart, qlen);
+        ASSERT_EQ(set.has_value(), haveSet);
+        if (haveSet) {
+            EXPECT_EQ(*set, firstSet);
+        }
+    }
+}
+
+TEST(BitVectorRange, EmptyAndDegenerate)
+{
+    PinBitVector bits;
+    EXPECT_TRUE(bits.allSetInRange(10, 0));
+    EXPECT_FALSE(bits.firstClearInRange(10, 0).has_value());
+    EXPECT_FALSE(bits.firstSetInRange(10, 0).has_value());
+    EXPECT_FALSE(bits.allSetInRange(0, 1));
+    bits.set(63);
+    bits.set(64);  // word boundary
+    EXPECT_TRUE(bits.allSetInRange(63, 2));
+    EXPECT_EQ(bits.firstClearInRange(63, 3), Vpn{65});
+    EXPECT_EQ(bits.firstSetInRange(0, 200), Vpn{63});
+}
+
+// ---------------------------------------------------------------------
+// RecencyPolicy::onAccessRange vs per-page onAccess
+// ---------------------------------------------------------------------
+
+/** Drain a policy by repeated victim()+onRemove(); returns order. */
+std::vector<Vpn>
+drain(ReplacementPolicy &p)
+{
+    std::vector<Vpn> order;
+    auto any = [](Vpn) { return true; };
+    while (p.size() > 0) {
+        auto v = p.victim(any);
+        EXPECT_TRUE(v.has_value()) << "victim on nonempty policy";
+        if (!v)
+            break;
+        order.push_back(*v);
+        p.onRemove(*v);
+    }
+    return order;
+}
+
+TEST(RecencyRange, SplicedRangeAccessMatchesLoop)
+{
+    for (PolicyKind kind : {PolicyKind::Lru, PolicyKind::Mru}) {
+        Rng rng(0x5eed + static_cast<int>(kind));
+        for (int round = 0; round < 50; ++round) {
+            auto a = ReplacementPolicy::create(kind);
+            auto b = ReplacementPolicy::create(kind);
+            // Random tracked population, including vpns past the
+            // dense chunk window to hit the sparse fallback.
+            std::vector<Vpn> pop;
+            std::size_t n = 1 + rng.below(200);
+            for (std::size_t i = 0; i < n; ++i) {
+                Vpn v = rng.below(100) < 90
+                    ? rng.below(4096)
+                    : (std::uint64_t{1} << 36) + rng.below(512);
+                if (!a->contains(v)) {
+                    a->onInsert(v);
+                    b->onInsert(v);
+                    pop.push_back(v);
+                }
+            }
+            // Interleave single accesses and range accesses (range
+            // over a chain, a partial chain, and untracked gaps).
+            for (int op = 0; op < 40; ++op) {
+                if (rng.below(2) == 0 && !pop.empty()) {
+                    Vpn v = pop[rng.below(pop.size())];
+                    a->onAccess(v);
+                    b->onAccess(v);
+                } else {
+                    Vpn start = rng.below(4096);
+                    std::size_t len = 1 + rng.below(150);
+                    for (std::size_t i = 0; i < len; ++i)
+                        a->onAccess(start + i);
+                    b->onAccessRange(start, len);
+                }
+            }
+            EXPECT_EQ(drain(*a), drain(*b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// translate() vs translateRange() golden equivalence
+// ---------------------------------------------------------------------
+
+/** A full single-NIC stack with the simulator's stats tree shape. */
+struct Harness {
+    utlb::mem::PhysMemory phys;
+    utlb::mem::PinFacility pins;
+    utlb::nic::Sram sram;
+    utlb::nic::NicTimings timings;
+    HostCosts costs;
+    SharedUtlbCache cache;
+    UtlbDriver driver;
+    std::unique_ptr<utlb::mem::AddressSpace> space;
+    std::unique_ptr<UserUtlb> utlb;
+    utlb::sim::StatGroup root{"stack"};
+
+    Harness(std::size_t entries, unsigned assoc,
+            const UtlbConfig &ucfg)
+        : phys(4096), sram(1u << 20),
+          costs(HostProfile::PentiumIINT),
+          cache(CacheConfig{entries, assoc, true}, timings, &sram),
+          driver(phys, pins, sram, cache, costs)
+    {
+        space = std::make_unique<utlb::mem::AddressSpace>(1, phys);
+        driver.registerProcess(*space);
+        utlb = std::make_unique<UserUtlb>(driver, cache, timings, 1,
+                                          ucfg);
+        root.adopt(cache.stats());
+        root.adopt(driver.stats());
+        root.adopt(pins.stats());
+        root.adopt(sram.stats());
+        root.adopt(utlb->stats());
+    }
+
+    std::string
+    statsDump() const
+    {
+        std::ostringstream os;
+        root.dumpJson(os);
+        return os.str();
+    }
+};
+
+void
+expectSameTranslation(const Translation &a, const Translation &b,
+                      const std::string &where)
+{
+    EXPECT_EQ(a.ok, b.ok) << where;
+    EXPECT_EQ(a.pageAddrs, b.pageAddrs) << where;
+    EXPECT_EQ(a.hostCost, b.hostCost) << where;
+    EXPECT_EQ(a.nicCost, b.nicCost) << where;
+    EXPECT_EQ(a.pinCost, b.pinCost) << where;
+    EXPECT_EQ(a.unpinCost, b.unpinCost) << where;
+    EXPECT_EQ(a.checkMiss, b.checkMiss) << where;
+    EXPECT_EQ(a.niMisses, b.niMisses) << where;
+    EXPECT_EQ(a.pagesPinned, b.pagesPinned) << where;
+    EXPECT_EQ(a.pagesUnpinned, b.pagesUnpinned) << where;
+    EXPECT_EQ(a.pinIoctls, b.pinIoctls) << where;
+    EXPECT_EQ(a.unpinIoctls, b.unpinIoctls) << where;
+    EXPECT_EQ(a.faults, b.faults) << where;
+    EXPECT_EQ(a.missPages, b.missPages) << where;
+}
+
+/**
+ * Replay the same randomized workload through both paths on
+ * independent identical stacks; every call and the final stats tree
+ * must match exactly.
+ */
+void
+runGolden(std::size_t entries, unsigned assoc, std::size_t prefetch,
+          std::size_t memlimit, PolicyKind policy,
+          std::size_t prepin, std::uint64_t seed)
+{
+    UtlbConfig ucfg;
+    ucfg.prefetchEntries = prefetch;
+    ucfg.pin.memLimitPages = memlimit;
+    ucfg.pin.policy = policy;
+    ucfg.pin.prepinPages = prepin;
+    ucfg.pin.seed = seed;
+
+    Harness perpage(entries, assoc, ucfg);
+    Harness batched(entries, assoc, ucfg);
+
+    Rng rng(seed ^ 0xfeedULL);
+    constexpr std::size_t kBufPages = 512;
+    for (int call = 0; call < 300; ++call) {
+        // Mixed shapes: repeated single pages (L0 path), small
+        // windows, and full sweeps; unaligned starts and lengths.
+        Vpn startPage;
+        std::size_t npages;
+        switch (rng.below(4)) {
+        case 0:
+            startPage = rng.below(8);
+            npages = 1;
+            break;
+        case 1:
+            startPage = rng.below(kBufPages);
+            npages = 1 + rng.below(8);
+            break;
+        default:
+            startPage = rng.below(kBufPages);
+            npages = 1 + rng.below(96);
+            break;
+        }
+        std::uint64_t offset = rng.below(utlb::mem::kPageSize);
+        utlb::mem::VirtAddr va =
+            startPage * utlb::mem::kPageSize + offset;
+        std::size_t nbytes = npages * utlb::mem::kPageSize
+            - offset - rng.below(utlb::mem::kPageSize - offset + 1);
+        if (nbytes == 0)
+            nbytes = 1;
+
+        Translation a = perpage.utlb->translate(va, nbytes);
+        Translation b = batched.utlb->translateRange(va, nbytes);
+        expectSameTranslation(
+            a, b, "call " + std::to_string(call));
+        if (::testing::Test::HasFailure())
+            return;
+    }
+    EXPECT_EQ(perpage.statsDump(), batched.statsDump());
+}
+
+TEST(BatchedRange, GoldenDirectMappedNoLimit)
+{
+    runGolden(1024, 1, 1, 0, PolicyKind::Lru, 1, 1);
+}
+
+TEST(BatchedRange, GoldenPrefetchWide)
+{
+    runGolden(256, 1, 8, 0, PolicyKind::Lru, 1, 2);
+}
+
+TEST(BatchedRange, GoldenMemLimitLru)
+{
+    runGolden(1024, 1, 4, 64, PolicyKind::Lru, 1, 3);
+}
+
+TEST(BatchedRange, GoldenMemLimitMru)
+{
+    runGolden(1024, 1, 4, 64, PolicyKind::Mru, 1, 4);
+}
+
+TEST(BatchedRange, GoldenMemLimitRandomPolicy)
+{
+    runGolden(512, 1, 4, 128, PolicyKind::Random, 1, 5);
+}
+
+TEST(BatchedRange, GoldenPrepinBatch)
+{
+    runGolden(1024, 1, 4, 96, PolicyKind::Lru, 16, 6);
+}
+
+TEST(BatchedRange, GoldenSetAssociativeFallback)
+{
+    // assoc != 1 exercises translateRange's exact per-page fallback.
+    runGolden(1024, 2, 4, 64, PolicyKind::Lru, 1, 7);
+}
+
+TEST(BatchedRange, ZeroBytesIsEmpty)
+{
+    UtlbConfig ucfg;
+    Harness h(256, 1, ucfg);
+    Translation t = h.utlb->translateRange(0x1000, 0);
+    EXPECT_TRUE(t.ok);
+    EXPECT_TRUE(t.pageAddrs.empty());
+    EXPECT_EQ(t.hostCost, 0u);
+    EXPECT_EQ(t.nicCost, 0u);
+}
+
+TEST(BatchedRange, PinFailureReportedIdentically)
+{
+    // A 4-page budget cannot hold an 8-page buffer: both paths must
+    // fail the same way with the same accounting.
+    UtlbConfig ucfg;
+    ucfg.pin.memLimitPages = 4;
+    Harness a(256, 1, ucfg);
+    Harness b(256, 1, ucfg);
+    std::size_t nbytes = 8 * utlb::mem::kPageSize;
+    Translation ta = a.utlb->translate(0, nbytes);
+    Translation tb = b.utlb->translateRange(0, nbytes);
+    EXPECT_FALSE(tb.ok);
+    expectSameTranslation(ta, tb, "pin failure");
+    EXPECT_EQ(a.statsDump(), b.statsDump());
+}
+
+} // namespace

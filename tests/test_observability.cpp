@@ -5,7 +5,11 @@
  *
  *  - the streaming JsonWriter (escaping, nesting, raw embedding);
  *  - the stats tree's JSON serialization and the "utlb-stats-v1"
- *    per-run document simulateUtlb()/simulateIntr() emit;
+ *    per-run document simulateUtlb()/simulateIntr() emit (including
+ *    the wall_ns result and batched_range config fields, and the
+ *    --batch replay's modeled-result equivalence);
+ *  - the bench harnesses' "utlb-bench-v1" document (wall_ns +
+ *    host_info);
  *  - the Chrome trace-event stream of the NIC miss path;
  *  - regressions for three accounting bugs: prefetch refreshes
  *    polluting LRU order, NicLookup::fetched counting raw DMA run
@@ -20,10 +24,14 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "bench_common.hpp"
 
 #include "check/audit.hpp"
 #include "core/cost_model.hpp"
@@ -373,6 +381,11 @@ TEST(StatsJson, UtlbRunDocumentMatchesSchema)
     EXPECT_EQ(r.at("probes").num, static_cast<double>(res.probes));
     EXPECT_TRUE(r.has("probe_miss_rate"));
     EXPECT_TRUE(r.has("avg_lookup_cost_us"));
+    EXPECT_FALSE(c.at("batched_range").boolean);
+    EXPECT_GT(r.at("wall_ns").num, 0.0);
+    // The writer prints ~12 significant digits; allow that rounding.
+    EXPECT_NEAR(r.at("wall_ns").num, res.wallNs,
+                res.wallNs * 1e-9 + 1.0);
 
     // Component tree: the shared cache's counters must agree with
     // the headline results, and each process subtree must carry its
@@ -419,6 +432,73 @@ TEST(StatsJson, EmptyTraceStillProducesDocument)
     JValue v = JParser::parse(res.statsJson);
     EXPECT_EQ(v.at("schema").str, "utlb-stats-v1");
     EXPECT_EQ(v.at("results").at("lookups").num, 0.0);
+}
+
+TEST(StatsJson, BatchedReplayMatchesPerPageReplay)
+{
+    // --batch drives the replay through translateRange(); every
+    // modeled number in the document must be unchanged.
+    tlbsim::SimConfig cfg;
+    cfg.cache = {256, 1, true};
+    cfg.prefetchEntries = 4;
+    cfg.memLimitPages = 48;
+    trace::Trace tr = smallTrace();
+    tlbsim::SimResult perpage = tlbsim::simulateUtlb(tr, cfg);
+    cfg.batchedRange = true;
+    tlbsim::SimResult batched = tlbsim::simulateUtlb(tr, cfg);
+
+    EXPECT_EQ(perpage.lookups, batched.lookups);
+    EXPECT_EQ(perpage.probes, batched.probes);
+    EXPECT_EQ(perpage.checkMissLookups, batched.checkMissLookups);
+    EXPECT_EQ(perpage.niMissLookups, batched.niMissLookups);
+    EXPECT_EQ(perpage.niMissProbes, batched.niMissProbes);
+    EXPECT_EQ(perpage.pagesPinned, batched.pagesPinned);
+    EXPECT_EQ(perpage.pagesUnpinned, batched.pagesUnpinned);
+    EXPECT_EQ(perpage.pinIoctls, batched.pinIoctls);
+    EXPECT_EQ(perpage.hostTime, batched.hostTime);
+    EXPECT_EQ(perpage.pinTime, batched.pinTime);
+    EXPECT_EQ(perpage.unpinTime, batched.unpinTime);
+    EXPECT_EQ(perpage.nicTime, batched.nicTime);
+    EXPECT_EQ(perpage.compulsoryMisses, batched.compulsoryMisses);
+    EXPECT_EQ(perpage.capacityMisses, batched.capacityMisses);
+    EXPECT_EQ(perpage.conflictMisses, batched.conflictMisses);
+}
+
+// ---------------------------------------------------------------------
+// Bench JSON ("utlb-bench-v1") schema
+// ---------------------------------------------------------------------
+
+TEST(BenchJson, ReporterDocumentMatchesSchema)
+{
+    std::string dir = ::testing::TempDir();
+    ASSERT_EQ(setenv("UTLB_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+    {
+        bench::JsonReporter rep("schema_test");
+        rep.add({{"scenario", "s1"}, {"mode", "batched"}},
+                {{"pages_per_sec", 123.0}, {"wall_ns", 456.0}});
+        rep.write();
+    }
+    unsetenv("UTLB_BENCH_JSON_DIR");
+
+    std::ifstream ifs(dir + "/BENCH_schema_test.json");
+    ASSERT_TRUE(ifs.good());
+    std::ostringstream buf;
+    buf << ifs.rdbuf();
+    JValue v = JParser::parse(buf.str());
+
+    EXPECT_EQ(v.at("schema").str, "utlb-bench-v1");
+    EXPECT_EQ(v.at("bench").str, "schema_test");
+    EXPECT_GT(v.at("wall_ns").num, 0.0);
+    const JValue &host = v.at("host_info");
+    EXPECT_GT(host.at("cores").num, 0.0);
+    const std::string &bt = host.at("build_type").str;
+    EXPECT_TRUE(bt == "optimized" || bt == "debug") << bt;
+    ASSERT_EQ(v.at("points").arr.size(), 1u);
+    const JValue &p = v.at("points").arr[0];
+    EXPECT_EQ(p.at("labels").at("scenario").str, "s1");
+    EXPECT_EQ(p.at("labels").at("mode").str, "batched");
+    EXPECT_EQ(p.at("metrics").at("pages_per_sec").num, 123.0);
+    EXPECT_EQ(p.at("metrics").at("wall_ns").num, 456.0);
 }
 
 // ---------------------------------------------------------------------
