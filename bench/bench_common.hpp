@@ -107,6 +107,15 @@ class JsonReporter
         points.push_back(std::move(p));
     }
 
+    /**
+     * Record how many worker threads the harness actually drove.
+     * host_info reports this alongside the machine's core count so a
+     * reader can tell an undersubscribed run from an oversubscribed
+     * one without guessing (defaults to 1: every harness is
+     * single-threaded unless it says otherwise).
+     */
+    void setWorkerThreads(unsigned n) { workerThreads = n; }
+
     /** Where the document will be (or was) written. */
     std::string
     path() const
@@ -143,6 +152,8 @@ class JsonReporter
         w.field("cores",
                 static_cast<std::uint64_t>(
                     std::thread::hardware_concurrency()));
+        w.field("worker_threads",
+                static_cast<std::uint64_t>(workerThreads));
 #ifdef NDEBUG
         w.field("build_type", "optimized");
 #else
@@ -177,6 +188,7 @@ class JsonReporter
     std::string benchName;
     std::chrono::steady_clock::time_point start;
     std::vector<Point> points;
+    unsigned workerThreads = 1;
     bool written = false;
 };
 

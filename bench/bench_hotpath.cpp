@@ -16,7 +16,14 @@
  *   miss_sweep 16K-page buffer over a 1K-entry cache with prefetch
  *              32 — steady-state miss + prefetch-refill pattern;
  *   same_page  one page translated over and over — the MRU "L0"
- *              slot path.
+ *              slot path;
+ *   mt_warm    the warm sweep again, but with 1/2/4 worker threads
+ *              driving disjoint per-process ranges through the
+ *              concurrent-mode stack (bench_mt_common.hpp) — the
+ *              aggregate-throughput scaling cell. Real speedup needs
+ *              real cores; host_info records both the machine's core
+ *              count and the worker count so the JSON is honest
+ *              about oversubscription.
  *
  * UTLB_HOTPATH_MS bounds the per-cell budget (default 300 ms);
  * BENCH_hotpath.json records pages/sec, ns/page and the speedup per
@@ -30,6 +37,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "bench_mt_common.hpp"
 #include "core/driver.hpp"
 #include "core/utlb.hpp"
 #include "mem/address_space.hpp"
@@ -236,6 +244,41 @@ main()
         json.add({{"scenario", sc.name}, {"mode", "speedup"}},
                  {{"speedup", speedup}});
     }
+
+    // Multi-thread scaling cell: the warm sweep with 1/2/4 workers
+    // on disjoint ranges through the concurrent-mode stack.
+    const bench::MtScenario &mt = bench::kMtWarm;
+    json.setWorkerThreads(4);
+    double base = 0.0;
+    double widest = 0.0;
+    for (unsigned t = 1; t <= 4; t *= 2) {
+        bench::MtStack stack(mt, t, true);
+        bench::MtCell cell = bench::runMtCell(mt, stack, t, ms);
+        double pps = cell.pagesPerSec();
+        if (t == 1)
+            base = pps;
+        widest = pps;
+        std::string mode = "threads" + std::to_string(t);
+        table.addRow({mt.name, mode,
+                      sim::TextTable::num(pps, 0),
+                      sim::TextTable::num(cell.nsPerPage(), 1),
+                      sim::TextTable::num(cell.modeledUsPerPage(),
+                                          3)});
+        json.add({{"scenario", mt.name}, {"mode", mode}},
+                 {{"threads", static_cast<double>(t)},
+                  {"pages_per_sec", pps},
+                  {"wall_ns", cell.wallNs},
+                  {"ns_per_page", cell.nsPerPage()},
+                  {"modeled_us_per_page", cell.modeledUsPerPage()}});
+    }
+    // Speedup of the widest cell over 1 thread, recorded like the
+    // per-scenario speedup rows.
+    double mtSpeedup = base > 0 ? widest / base : 0.0;
+    table.addRow({mt.name, "speedup",
+                  sim::TextTable::num(mtSpeedup, 2) + "x", "", ""});
+    json.add({{"scenario", mt.name}, {"mode", "speedup"}},
+             {{"speedup", mtSpeedup}});
+
     table.print(std::cout);
     return 0;
 }

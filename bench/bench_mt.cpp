@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Multi-core throughput harness: aggregate translations per second
+ * with 1..N worker threads driving the concurrent UTLB stack.
+ *
+ * Like bench_hotpath this measures the simulator's wall clock, not
+ * the modeled machine: concurrency never changes results, modeled
+ * costs, or stats (asserted below and by tests/test_concurrency.cpp)
+ * — only how fast the host chews through them.
+ *
+ * Scenarios (bench_mt_common.hpp):
+ *   mt_warm          disjoint per-worker ranges, all NIC-cache hits:
+ *                    workers share no lock stripe, the shard-local
+ *                    scaling ceiling;
+ *   mt_miss_prefetch all workers sweep the same sets under their own
+ *                    pids: stripe locks, miss DMAs, and evictions
+ *                    stay contended.
+ *
+ * Before timing anything, a fixed-iteration golden check replays an
+ * identical workload through a sequential-mode and a concurrent-mode
+ * single-worker stack and dies unless every per-call field and the
+ * full stats tree match bit-for-bit.
+ *
+ * UTLB_MT_MS bounds the per-cell budget (default 300 ms);
+ * UTLB_MT_THREADS caps the sweep (default 4). BENCH_mt.json records
+ * threads, aggregate pages/sec, and scaling_efficiency
+ * (pages/sec at N threads over N x the 1-thread rate). Efficiency
+ * only exceeds ~1/N x hardware_concurrency when real cores back the
+ * workers — host_info records both counts so readers can judge.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_mt_common.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace utlb;
+using bench::MtCell;
+using bench::MtScenario;
+using bench::MtStack;
+
+double
+budgetMs()
+{
+    if (const char *e = std::getenv("UTLB_MT_MS")) {
+        double v = std::atof(e);
+        if (v > 0)
+            return v;
+    }
+    return 300.0;
+}
+
+unsigned
+maxThreads()
+{
+    if (const char *e = std::getenv("UTLB_MT_THREADS")) {
+        int v = std::atoi(e);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 4;
+}
+
+/** Serialize a 1-worker stack's full stats tree. */
+std::string
+statsDump(MtStack &stack)
+{
+    stack.views[0]->flushShardStats();
+    sim::StatGroup root{"stack"};
+    root.adopt(stack.cache.stats());
+    root.adopt(stack.driver.stats());
+    root.adopt(stack.pins.stats());
+    root.adopt(stack.sram.stats());
+    root.adopt(stack.views[0]->stats());
+    std::ostringstream os;
+    root.dumpJson(os);
+    return os.str();
+}
+
+/**
+ * Threads=1 golden equivalence: a concurrent-mode stack driven by
+ * one thread must be indistinguishable — results, modeled costs,
+ * stats tree — from the sequential path over the same workload.
+ */
+void
+checkGoldenEquivalence(const MtScenario &sc)
+{
+    MtStack seq(sc, 1, false);
+    MtStack mt(sc, 1, true);
+    std::size_t nbytes = sc.windowPages * mem::kPageSize;
+    std::size_t nwindows = sc.perWorkerPages / sc.windowPages;
+    // Two full passes: cold misses + pins, then steady state.
+    for (std::size_t w = 0; w < 2 * nwindows; ++w) {
+        mem::VirtAddr va =
+            ((w % nwindows) * sc.windowPages) * mem::kPageSize;
+        core::Translation a = seq.views[0]->translateRange(va, nbytes);
+        core::Translation b = mt.views[0]->translateRange(va, nbytes);
+        if (a.hostCost != b.hostCost || a.nicCost != b.nicCost
+            || a.niMisses != b.niMisses
+            || a.pageAddrs != b.pageAddrs
+            || a.missPages != b.missPages)
+            sim::fatal("%s: concurrent mode diverged from sequential "
+                       "at window %zu",
+                       sc.name, w);
+    }
+    if (statsDump(seq) != statsDump(mt))
+        sim::fatal("%s: concurrent-mode stats tree diverged from "
+                   "sequential",
+                   sc.name);
+}
+
+} // namespace
+
+int
+main()
+{
+    const MtScenario scenarios[] = {bench::kMtWarm,
+                                    bench::kMtMissPrefetch};
+    double ms = budgetMs();
+    unsigned nmax = maxThreads();
+
+    bench::JsonReporter json("mt");
+    json.setWorkerThreads(nmax);
+    sim::TextTable table("multi-thread wall clock ("
+                         + sim::TextTable::num(ms, 0) + " ms/cell, "
+                         + std::to_string(nmax) + " threads max)");
+    table.setHeader({"scenario", "threads", "agg pages/sec",
+                     "ns/page", "modeled us/page", "efficiency"});
+
+    for (const MtScenario &sc : scenarios) {
+        checkGoldenEquivalence(sc);
+        json.add({{"scenario", sc.name}, {"mode", "golden"}},
+                 {{"golden_equivalence", 1.0}});
+
+        double base = 0.0;
+        for (unsigned t = 1; t <= nmax; t *= 2) {
+            MtStack stack(sc, t, true);
+            MtCell cell = runMtCell(sc, stack, t, ms);
+            double pps = cell.pagesPerSec();
+            if (t == 1)
+                base = pps;
+            double eff = (base > 0 && t > 0)
+                ? pps / (static_cast<double>(t) * base)
+                : 0.0;
+            table.addRow({sc.name, std::to_string(t),
+                          sim::TextTable::num(pps, 0),
+                          sim::TextTable::num(cell.nsPerPage(), 1),
+                          sim::TextTable::num(
+                              cell.modeledUsPerPage(), 3),
+                          sim::TextTable::num(eff, 2)});
+            json.add({{"scenario", sc.name},
+                      {"mode", "mt"},
+                      {"threads", std::to_string(t)}},
+                     {{"threads", static_cast<double>(t)},
+                      {"pages_per_sec", pps},
+                      {"wall_ns", cell.wallNs},
+                      {"ns_per_page", cell.nsPerPage()},
+                      {"modeled_us_per_page",
+                       cell.modeledUsPerPage()},
+                      {"scaling_efficiency", eff}});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

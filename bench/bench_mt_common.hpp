@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Shared machinery for the multi-threaded wall-clock harnesses
+ * (bench_hotpath's mt_warm cell and bench_mt's thread sweep).
+ *
+ * An MtStack is one NIC shared by N worker processes, each driven by
+ * its own thread through a concurrent-mode UserUtlb. Two workload
+ * shapes:
+ *
+ *   disjoint  every worker sweeps its own vpn range. With index
+ *             offsetting off, disjoint ranges land in disjoint cache
+ *             sets, so workers share no lock stripe and no cache
+ *             line on the hot path — the shard-local scaling case;
+ *   shared    every worker sweeps the same vpn range under its own
+ *             pid. Same sets, different tags: a direct-mapped set
+ *             ping-pongs between processes, keeping the stripe
+ *             locks, miss DMAs, and insertMT evictions contended —
+ *             the worst-case coherence cell.
+ *
+ * Timing protocol: workers warm their buffers, park on a start flag,
+ * then translate windows until the main thread calls time. Pages and
+ * modeled ticks are counted exactly; the wall clock spans go->stop,
+ * so aggregate pages/sec divides total work by shared elapsed time.
+ */
+
+#ifndef UTLB_BENCH_MT_COMMON_HPP
+#define UTLB_BENCH_MT_COMMON_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/log.hpp"
+
+namespace bench {
+
+namespace mem = utlb::mem;
+namespace core = utlb::core;
+
+/** Shape of one multi-threaded scenario. */
+struct MtScenario {
+    const char *name;
+    std::size_t perWorkerPages;  //!< pages each worker sweeps
+    std::size_t windowPages;     //!< pages per translateRange call
+    std::size_t entries;         //!< NIC cache entries (direct-mapped)
+    std::size_t prefetch;        //!< entries fetched per miss
+    bool sharedRange;            //!< all workers sweep the same vpns
+};
+
+/** Warm, all-hits scaling cell (the acceptance scenario). */
+inline constexpr MtScenario kMtWarm{"mt_warm", 1024, 64, 8192, 1,
+                                    false};
+
+/** Contended miss + prefetch-refill cell. */
+inline constexpr MtScenario kMtMissPrefetch{"mt_miss_prefetch", 4096,
+                                            64, 1024, 32, true};
+
+/** One NIC, N worker processes, each with a concurrent UserUtlb. */
+struct MtStack {
+    mem::PhysMemory phys;
+    mem::PinFacility pins;
+    utlb::nic::Sram sram;
+    utlb::nic::NicTimings timings;
+    core::HostCosts costs;
+    core::SharedUtlbCache cache;
+    core::UtlbDriver driver;
+    std::vector<std::unique_ptr<mem::AddressSpace>> spaces;
+    std::vector<std::unique_ptr<core::UserUtlb>> views;
+
+    MtStack(const MtScenario &sc, unsigned nworkers, bool concurrent)
+        : phys(sc.perWorkerPages * nworkers + 2048),
+          sram(4u << 20),
+          costs(core::HostProfile::PentiumIINT),
+          // Index offsetting off: worker vpn ranges map to cache
+          // sets verbatim, so the disjoint/shared scenario shapes
+          // control set overlap directly.
+          cache(core::CacheConfig{sc.entries, 1, false}, timings,
+                &sram),
+          driver(phys, pins, sram, cache, costs)
+    {
+        for (unsigned w = 0; w < nworkers; ++w) {
+            auto pid = static_cast<mem::ProcId>(w + 1);
+            spaces.push_back(
+                std::make_unique<mem::AddressSpace>(pid, phys));
+            driver.registerProcess(*spaces.back());
+            core::UtlbConfig ucfg;
+            ucfg.prefetchEntries = sc.prefetch;
+            ucfg.concurrent = concurrent;
+            views.push_back(std::make_unique<core::UserUtlb>(
+                driver, cache, timings, pid, ucfg));
+        }
+    }
+
+    /** The vpn a worker's buffer starts at. */
+    mem::Vpn
+    baseOf(const MtScenario &sc, unsigned worker) const
+    {
+        return sc.sharedRange ? 0 : worker * sc.perWorkerPages;
+    }
+};
+
+/** Aggregate outcome of one (scenario, threads) cell. */
+struct MtCell {
+    double wallNs = 0;
+    std::uint64_t pages = 0;
+    utlb::sim::Tick modeled = 0;
+
+    double pagesPerSec() const
+    {
+        return wallNs > 0
+            ? static_cast<double>(pages) * 1e9 / wallNs
+            : 0.0;
+    }
+    double nsPerPage() const
+    {
+        return pages > 0 ? wallNs / static_cast<double>(pages) : 0.0;
+    }
+    double modeledUsPerPage() const
+    {
+        return pages > 0
+            ? utlb::sim::ticksToUs(modeled)
+                / static_cast<double>(pages)
+            : 0.0;
+    }
+};
+
+/**
+ * Run @p nworkers threads over @p stack for ~@p budget_ms of wall
+ * time. Each worker warms its buffer first (pins + cache fill),
+ * so the timed region measures the steady state.
+ */
+inline MtCell
+runMtCell(const MtScenario &sc, MtStack &stack, unsigned nworkers,
+          double budget_ms)
+{
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> totalPages{0};
+    std::atomic<std::uint64_t> totalModeled{0};
+
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < nworkers; ++w) {
+        workers.emplace_back([&, w] {
+            core::UserUtlb &u = *stack.views[w];
+            const mem::Vpn base = stack.baseOf(sc, w);
+            const std::size_t nbytes =
+                sc.windowPages * mem::kPageSize;
+            const std::size_t nwindows =
+                sc.perWorkerPages / sc.windowPages;
+
+            for (std::size_t p = 0; p < sc.perWorkerPages;
+                 p += sc.windowPages) {
+                core::Translation t = u.translateRange(
+                    (base + p) * mem::kPageSize, nbytes);
+                if (!t.ok)
+                    utlb::sim::fatal("%s: warm-up pin failed",
+                                     sc.name);
+            }
+
+            ready.fetch_add(1, std::memory_order_release);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+
+            std::uint64_t pages = 0;
+            utlb::sim::Tick modeled = 0;
+            std::size_t window = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                mem::VirtAddr va =
+                    (base + window * sc.windowPages)
+                    * mem::kPageSize;
+                core::Translation t = u.translateRange(va, nbytes);
+                modeled += t.hostCost + t.nicCost;
+                pages += t.pageAddrs.size();
+                if (++window == nwindows)
+                    window = 0;
+            }
+            totalPages.fetch_add(pages, std::memory_order_relaxed);
+            totalModeled.fetch_add(
+                static_cast<std::uint64_t>(modeled),
+                std::memory_order_relaxed);
+        });
+    }
+
+    while (ready.load(std::memory_order_acquire) < nworkers) {
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(budget_ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &w : workers)
+        w.join();
+    double wall = std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    MtCell cell;
+    cell.wallNs = wall;
+    cell.pages = totalPages.load();
+    cell.modeled =
+        static_cast<utlb::sim::Tick>(totalModeled.load());
+    return cell;
+}
+
+} // namespace bench
+
+#endif // UTLB_BENCH_MT_COMMON_HPP

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Wall-clock performance run: Release build, then the hot-path
-# harness (translate() vs translateRange() translations/sec) and a
-# batched tlbsim replay. Copies BENCH_hotpath.json to the repo root
-# so the checked-in baseline can be refreshed in place.
+# harness (translate() vs translateRange() translations/sec), the
+# multi-thread sweep, and a batched tlbsim replay. Copies
+# BENCH_hotpath.json to the repo root so the checked-in baseline can
+# be refreshed in place.
 # Usage: scripts/perf.sh [build-dir]
 set -e
 cd "$(dirname "$0")/.."
@@ -13,12 +14,19 @@ step() { printf '\n=== %s ===\n' "$*"; }
 
 step "Release build ($BUILD)"
 cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD" --target bench_hotpath tlbsim
+cmake --build "$BUILD" --target bench_hotpath bench_mt tlbsim
 
 mkdir -p "$OUT"
 
 step "bench_hotpath (UTLB_HOTPATH_MS=${UTLB_HOTPATH_MS:-300} ms/cell)"
 UTLB_BENCH_JSON_DIR="$OUT" "$BUILD"/bench/bench_hotpath
+
+# bench_mt fatals unless a threads=1 concurrent-mode stack replays
+# bit-identically to the sequential path (results, modeled costs,
+# stats tree), so this run doubles as the golden-equivalence gate.
+step "bench_mt (UTLB_MT_MS=${UTLB_MT_MS:-300} ms/cell, \
+UTLB_MT_THREADS=${UTLB_MT_THREADS:-4})"
+UTLB_BENCH_JSON_DIR="$OUT" "$BUILD"/bench/bench_mt
 
 step "tlbsim --batch replay (radix)"
 "$BUILD"/src/tlbsim/tlbsim radix --mode utlb --prefetch 8 --batch \
@@ -26,4 +34,4 @@ step "tlbsim --batch replay (radix)"
 
 cp "$OUT/BENCH_hotpath.json" BENCH_hotpath.json
 step "done"
-echo "results in $OUT; baseline refreshed at BENCH_hotpath.json"
+echo "results in $OUT (incl. BENCH_mt.json); baseline refreshed at BENCH_hotpath.json"

@@ -40,6 +40,7 @@ UtlbDriver::~UtlbDriver()
 void
 UtlbDriver::registerProcess(mem::AddressSpace &space)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ProcId pid = space.pid();
     if (tables.count(pid))
         panic("process %u registered with the driver twice", pid);
@@ -53,6 +54,7 @@ UtlbDriver::registerProcess(mem::AddressSpace &space)
 void
 UtlbDriver::unregisterProcess(ProcId pid)
 {
+    std::lock_guard<std::mutex> lk(mu);
     nicCache->invalidateProcess(pid);
     if (auto it = tables.find(pid); it != tables.end())
         statsGrp.disown(it->second->stats());
@@ -80,6 +82,7 @@ UtlbDriver::pageTable(ProcId pid)
 IoctlResult
 UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
@@ -124,6 +127,7 @@ IoctlResult
 UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
                                     std::size_t npages)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
@@ -152,6 +156,7 @@ UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
 NicTranslationTable &
 UtlbDriver::createNicTable(ProcId pid, std::size_t entries)
 {
+    std::lock_guard<std::mutex> lk(mu);
     if (!isRegistered(pid))
         panic("createNicTable for unregistered process %u", pid);
     auto [it, inserted] = nicTables.emplace(
@@ -174,6 +179,7 @@ UtlbDriver::nicTable(ProcId pid)
 IoctlResult
 UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
@@ -198,6 +204,7 @@ UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 IoctlResult
 UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -48,6 +49,15 @@ struct IoctlResult {
  * tables coherent with the pinning facility and the NIC shared
  * cache: an unpin always invalidates both the host table entry and
  * any cached NIC copy before the page becomes evictable.
+ *
+ * Thread safety: the ioctl entry points and process (un)registration
+ * serialize on one internal mutex, like syscalls into a real driver
+ * taking its lock — they touch the shared pin facility and physical
+ * allocator, and they sit on the modeled-syscall slow path where a
+ * lock is noise. Accessors that hand out references (pageTable,
+ * nicTable, pinFacility, stats, audit) are not locked: use them only
+ * after registration has quiesced and, for stats/audit, when no
+ * worker is in an ioctl.
  */
 class UtlbDriver
 {
@@ -156,6 +166,9 @@ class UtlbDriver
             ++statIoctlRejects;
         return res;
     }
+
+    /** Serializes ioctls and (un)registration (see class comment). */
+    std::mutex mu;
 
     mem::PhysMemory *hostMem;
     mem::PinFacility *pins;

@@ -21,14 +21,63 @@ PinManager::PinManager(UtlbDriver &drv, mem::ProcId pid,
 }
 
 void
+PinManager::enableConcurrent()
+{
+    if (!mu)
+        mu = std::make_unique<std::mutex>();
+}
+
+std::unique_lock<std::mutex>
+PinManager::guard() const
+{
+    return mu ? std::unique_lock<std::mutex>(*mu)
+              : std::unique_lock<std::mutex>();
+}
+
+void
 PinManager::lockRange(Vpn start, std::size_t npages)
+{
+    auto g = guard();
+    lockRangeImpl(start, npages);
+}
+
+void
+PinManager::unlockRange(Vpn start, std::size_t npages)
+{
+    auto g = guard();
+    unlockRangeImpl(start, npages);
+}
+
+bool
+PinManager::isLocked(Vpn vpn) const
+{
+    auto g = guard();
+    return isLockedImpl(vpn);
+}
+
+bool
+PinManager::isPinned(Vpn vpn) const
+{
+    auto g = guard();
+    return bits.test(vpn);
+}
+
+std::size_t
+PinManager::pinnedPages() const
+{
+    auto g = guard();
+    return bits.count();
+}
+
+void
+PinManager::lockRangeImpl(Vpn start, std::size_t npages)
 {
     for (std::size_t i = 0; i < npages; ++i)
         ++locks[start + i];
 }
 
 void
-PinManager::unlockRange(Vpn start, std::size_t npages)
+PinManager::unlockRangeImpl(Vpn start, std::size_t npages)
 {
     for (std::size_t i = 0; i < npages; ++i) {
         auto it = locks.find(start + i);
@@ -40,7 +89,7 @@ PinManager::unlockRange(Vpn start, std::size_t npages)
 }
 
 bool
-PinManager::isLocked(Vpn vpn) const
+PinManager::isLockedImpl(Vpn vpn) const
 {
     return locks.count(vpn) > 0;
 }
@@ -50,7 +99,7 @@ PinManager::evictOne(EnsureResult &res)
 {
     ++statPolicyVictims;
     auto victim = repl->victim(
-        [this](Vpn vpn) { return !isLocked(vpn); });
+        [this](Vpn vpn) { return !isLockedImpl(vpn); });
     if (!victim) {
         ++statPolicyVictimFails;
         return false;
@@ -121,6 +170,7 @@ PinManager::pinRun(Vpn start, std::size_t npages, EnsureResult &res)
 EnsureResult
 PinManager::ensurePinned(Vpn start, std::size_t npages)
 {
+    auto g = guard();
     EnsureResult res;
     ++statChecks;
 
@@ -143,6 +193,7 @@ PinManager::ensurePinned(Vpn start, std::size_t npages)
 EnsureResult
 PinManager::ensurePinnedRange(Vpn start, std::size_t npages)
 {
+    auto g = guard();
     EnsureResult res;
     ++statChecks;
 
@@ -175,7 +226,7 @@ PinManager::ensureSlow(Vpn start, std::size_t npages, Vpn firstUnpinned,
     // The request's own pages must never be chosen as eviction
     // victims while we pin the rest of it (§3.1's rule generalized:
     // a page that this very lookup needs is "outstanding").
-    lockRange(start, npages);
+    lockRangeImpl(start, npages);
 
     // Pin each maximal run of unpinned pages within the request,
     // locating run boundaries a bitmap word at a time.
@@ -208,13 +259,13 @@ PinManager::ensureSlow(Vpn start, std::size_t npages, Vpn firstUnpinned,
 
         if (!pinRun(start + i, run, res)) {
             res.ok = false;
-            unlockRange(start, npages);
+            unlockRangeImpl(start, npages);
             statEnsureLatency.sample(sim::ticksToUs(res.cost));
             return res;
         }
         i += run;
     }
-    unlockRange(start, npages);
+    unlockRangeImpl(start, npages);
 
     // Touch all requested pages for recency/frequency accounting.
     repl->onAccessRange(start, npages);
@@ -226,6 +277,7 @@ PinManager::ensureSlow(Vpn start, std::size_t npages, Vpn firstUnpinned,
 bool
 PinManager::releasePage(Vpn vpn)
 {
+    auto g = guard();
     if (!bits.test(vpn))
         return false;
     IoctlResult io = driver->ioctlUnpinAndInvalidate(procId, vpn, 1);

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/bitvector.hpp"
@@ -71,6 +72,16 @@ struct EnsureResult {
  * Invariant (checked by the test suite): the bit vector, the
  * replacement policy's tracked set, and the kernel pin facility's
  * per-process pin set agree at every quiescent point.
+ *
+ * Thread safety: single-threaded by default. After
+ * enableConcurrent(), the mutating entry points and their read-side
+ * counterparts (ensurePinned*, lockRange/unlockRange/isLocked,
+ * isPinned/pinnedPages, releasePage) serialize on an internal
+ * mutex, so overlapping pins, releases, and send-locks from many
+ * threads stay coherent. The paper's library gets this atomicity
+ * for free by running inside one process; the simulated one takes a
+ * lock. bitVector(), policy(), stats(), and audit() remain
+ * unlocked: call them only at quiescent points.
  */
 class PinManager
 {
@@ -80,6 +91,18 @@ class PinManager
 
     mem::ProcId pid() const { return procId; }
     const PinManagerConfig &config() const { return cfg; }
+
+    /**
+     * Make the public entry points callable from many threads (see
+     * class comment). Idempotent; call before spawning workers. The
+     * uncontended lock is not charged to the modeled cost, so a
+     * single-threaded caller sees bit-identical results and stats
+     * with or without it.
+     */
+    void enableConcurrent();
+
+    /** True once enableConcurrent() has run. */
+    bool isConcurrent() const { return mu != nullptr; }
 
     /**
      * Guarantee [start, start+npages) is pinned with translations
@@ -105,10 +128,10 @@ class PinManager
     bool isLocked(mem::Vpn vpn) const;
 
     /** True if the library believes @p vpn is pinned. */
-    bool isPinned(mem::Vpn vpn) const { return bits.test(vpn); }
+    bool isPinned(mem::Vpn vpn) const;
 
     /** Number of pages this manager currently holds pinned. */
-    std::size_t pinnedPages() const { return bits.count(); }
+    std::size_t pinnedPages() const;
 
     /** Voluntarily unpin a page (e.g. on buffer free). */
     bool releasePage(mem::Vpn vpn);
@@ -148,6 +171,19 @@ class PinManager
     friend struct check::TestTamper;
 
     /**
+     * The concurrent-mode lock, or an empty (unlocked) handle when
+     * enableConcurrent() was never called. Public entry points hold
+     * it and delegate to the unlocked *Impl internals — the slow
+     * path re-enters lockRange/isLocked from inside itself, so the
+     * internals must not re-acquire.
+     */
+    std::unique_lock<std::mutex> guard() const;
+
+    void lockRangeImpl(mem::Vpn start, std::size_t npages);
+    void unlockRangeImpl(mem::Vpn start, std::size_t npages);
+    bool isLockedImpl(mem::Vpn vpn) const;
+
+    /**
      * Evict one victim page to free budget.
      * @return false if nothing is evictable.
      */
@@ -167,6 +203,9 @@ class PinManager
     UtlbDriver *driver;
     mem::ProcId procId;
     PinManagerConfig cfg;
+    /** Non-null once enableConcurrent() ran; mutable for guards in
+     *  const readers (isLocked/isPinned/pinnedPages). */
+    mutable std::unique_ptr<std::mutex> mu;
     PinBitVector bits;
     std::unique_ptr<ReplacementPolicy> repl;
     std::unordered_map<mem::Vpn, std::uint32_t> locks;

@@ -1,6 +1,7 @@
 #include "core/shared_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "check/audit.hpp"
 #include "check/check.hpp"
@@ -160,6 +161,164 @@ SharedUtlbCache::hitViaRef(LineRef &ref, ProcId pid, Vpn vpn,
     return true;
 }
 
+void
+SharedUtlbCache::enableConcurrent()
+{
+    if (concurrent())
+        return;
+    if (config.assoc != 1)
+        fatal("concurrent mode requires a direct-mapped cache "
+              "(assoc 1, got %u)",
+              config.assoc);
+    stripes = std::make_unique<sim::Spinlock[]>(
+        (numSets + kSetsPerStripe - 1) / kSetsPerStripe);
+    numStripes = (numSets + kSetsPerStripe - 1) / kSetsPerStripe;
+}
+
+SharedUtlbCache::Shard
+SharedUtlbCache::makeShard() const
+{
+    return Shard(statProbeLatency.makeLocal());
+}
+
+void
+SharedUtlbCache::absorbShard(Shard &sh)
+{
+    std::lock_guard<std::mutex> g(absorbMu);
+    statHits.absorb(sh.hits);
+    statMisses.absorb(sh.misses);
+    statInserts.absorb(sh.inserts);
+    statRefreshes.absorb(sh.refreshes);
+    statEvictions.absorb(sh.evictions);
+    statProbeLatency.absorb(sh.probeLatency);
+}
+
+std::uint64_t
+SharedUtlbCache::nextStamp(Shard &sh)
+{
+    if (sh.stampNext == sh.stampEnd) {
+        // One shared-clock RMW buys kStampBlock local stamps. The
+        // base is the pre-add clock, so a lone worker draws exactly
+        // the 1, 2, 3, ... sequence of the sequential ++useClock.
+        std::uint64_t base =
+            std::atomic_ref<std::uint64_t>(useClock).fetch_add(
+                kStampBlock, std::memory_order_relaxed);
+        sh.stampNext = base + 1;
+        sh.stampEnd = base + kStampBlock + 1;
+    }
+    return sh.stampNext++;
+}
+
+CacheProbe
+SharedUtlbCache::lookupMT(ProcId pid, Vpn vpn, Shard &sh)
+{
+    // Direct-mapped (enforced by enableConcurrent), so every probe
+    // checks exactly one way at the constant hit cost.
+    CacheProbe probe;
+    probe.cost = timings->cacheHitCost;
+    sh.probeLatency.sample(sim::ticksToUs(probe.cost));
+    std::size_t set = setIndex(pid, vpn);
+    sim::SpinGuard g(stripeOf(set));
+    Line &line = lines[set];
+    if (line.valid && line.pid == pid && line.vpn == vpn) {
+        probe.hit = true;
+        probe.pfn = line.pfn;
+        line.lastUse = nextStamp(sh);
+        ++sh.hits;
+    } else {
+        ++sh.misses;
+    }
+    return probe;
+}
+
+RunHits
+SharedUtlbCache::lookupRunMT(ProcId pid, Vpn start, std::size_t n,
+                             Pfn *pfns, LineRef *first_hit, Shard &sh)
+{
+    RunHits out;
+    out.perHitCost = timings->cacheHitCost;
+
+    // Same consecutive-set walk as lookupRun, taking each stripe's
+    // lock once for the (up to) kSetsPerStripe sets it covers.
+    std::size_t set = setIndex(pid, start);
+    std::size_t i = 0;
+    bool missed = false;
+    while (i < n && !missed) {
+        std::size_t stripe_end = std::min(
+            ((set >> kSetsPerStripeLog2) + 1) << kSetsPerStripeLog2,
+            numSets);
+        sim::SpinGuard g(stripeOf(set));
+        for (; i < n && set < stripe_end; ++set, ++i) {
+            Line &line = lines[set];
+            if (!(line.valid && line.pid == pid
+                  && line.vpn == start + i)) {
+                missed = true;  // record nothing, caller re-probes
+                break;
+            }
+            line.lastUse = nextStamp(sh);
+            pfns[i] = line.pfn;
+            if (i == 0 && first_hit)
+                first_hit->line = &line;
+        }
+        if (set == numSets)
+            set = 0;
+    }
+
+    out.hits = i;
+    if (i > 0) {
+        out.cost = static_cast<Tick>(i) * out.perHitCost;
+        sh.hits += i;
+        sh.probeLatency.sampleN(sim::ticksToUs(out.perHitCost), i);
+    }
+    return out;
+}
+
+bool
+SharedUtlbCache::hitViaRefMT(LineRef &ref, ProcId pid, Vpn vpn,
+                             CacheProbe &out, Shard &sh)
+{
+    Line *line = ref.line;
+    if (!line)
+        return false;
+    // assoc == 1, so the line's array index is its set index.
+    std::size_t set = static_cast<std::size_t>(line - lines.data());
+    sim::SpinGuard g(stripeOf(set));
+    if (!line->valid || line->pid != pid || line->vpn != vpn)
+        return false;
+    out.hit = true;
+    out.pfn = line->pfn;
+    out.cost = timings->cacheHitCost;
+    line->lastUse = nextStamp(sh);
+    ++sh.hits;
+    sh.probeLatency.sample(sim::ticksToUs(out.cost));
+    return true;
+}
+
+std::optional<EvictedEntry>
+SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
+                          InsertMode mode, Shard &sh)
+{
+    ++sh.inserts;
+    std::size_t set = setIndex(pid, vpn);
+    sim::SpinGuard g(stripeOf(set));
+    Line &line = lines[set];
+    if (line.valid && line.pid == pid && line.vpn == vpn) {
+        line.pfn = pfn;
+        if (mode == InsertMode::Demand)
+            line.lastUse = nextStamp(sh);
+        ++sh.refreshes;
+        return std::nullopt;
+    }
+    if (!line.valid) {
+        line = Line{true, pid, vpn, pfn, nextStamp(sh)};
+        return std::nullopt;
+    }
+    EvictedEntry victim{line.pid, line.vpn, line.pfn};
+    line = Line{true, pid, vpn, pfn, nextStamp(sh)};
+    ++sh.evictions;
+    return victim;
+}
+
 std::optional<Pfn>
 SharedUtlbCache::peek(ProcId pid, Vpn vpn) const
 {
@@ -225,6 +384,25 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
 bool
 SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
 {
+    if (concurrent()) {
+        // Unpin-path coherence drops race with other workers'
+        // probes, so take the line's stripe lock; the counter bump
+        // is a relaxed RMW since it can race absorbShard() readers
+        // of sibling counters on the same cache line.
+        std::size_t set = setIndex(pid, vpn);
+        bool dropped;
+        {
+            sim::SpinGuard g(stripeOf(set));
+            Line &line = lines[set];
+            dropped =
+                line.valid && line.pid == pid && line.vpn == vpn;
+            if (dropped)
+                killLine(line);
+        }
+        if (dropped)
+            statInvalidations.addRelaxed(1);
+        return dropped;
+    }
     Line *line = findLine(pid, vpn, nullptr);
     if (!line)
         return false;

@@ -26,6 +26,8 @@
 #define UTLB_CORE_SHARED_CACHE_HPP
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "mem/page.hpp"
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
+#include "sim/spinlock.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -153,6 +156,108 @@ class SharedUtlbCache
                    CacheProbe &out);
 
     /**
+     * @name Concurrent mode (§4 atomicity/consistency)
+     *
+     * The paper's host library and NIC firmware touch UTLB state
+     * concurrently without syscalls on the common path; mirroring
+     * that, the cache can serve probes and miss-fill installs from
+     * many threads at once. enableConcurrent() arms it:
+     *
+     *  - the line array is partitioned into contiguous *stripes* of
+     *    kSetsPerStripe sets, each guarded by a spinlock. Consecutive
+     *    vpns map to consecutive sets, so a batched run re-locks only
+     *    at stripe boundaries — one acquisition per kSetsPerStripe
+     *    pages, and threads working disjoint set ranges never touch
+     *    the same lock;
+     *  - hot-path statistics accumulate into a per-worker Shard
+     *    buffer (no shared counter cache line on the probe path) and
+     *    are folded into the global stats by absorbShard();
+     *  - LRU stamps come from per-shard blocks carved off the shared
+     *    use clock with one relaxed fetch-add per kStampBlock hits.
+     *    Stamps stay strictly monotonic within a worker and within a
+     *    stamp block, so single-threaded stamp sequences are exactly
+     *    the sequential ones; across concurrent workers LRU order is
+     *    approximate, as on real hardware.
+     *
+     * With one worker the MT entry points perform the same state
+     * transitions, modeled costs, and stat updates as their
+     * sequential twins, in the same order — the golden-equivalence
+     * suite (tests/test_concurrency.cpp) pins that down bit-exactly.
+     *
+     * Maintenance operations (clear, invalidateProcess,
+     * evictLruOfProcess, resetStats, audit, stats serialization)
+     * still require quiescence: call them only when no worker is in
+     * an MT entry point and all shards have been absorbed.
+     * @{
+     */
+
+    /**
+     * Per-worker concurrent-mode context: stat deltas plus the LRU
+     * stamp block. One Shard belongs to exactly one thread at a
+     * time; fold it back with absorbShard() before reading stats.
+     */
+    class Shard
+    {
+        friend class SharedUtlbCache;
+
+        explicit Shard(sim::HistAccum probe_shape)
+            : probeLatency(std::move(probe_shape))
+        {}
+
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t refreshes = 0;
+        std::uint64_t evictions = 0;
+        sim::HistAccum probeLatency;
+
+        /** Unconsumed LRU stamps: [stampNext, stampEnd). */
+        std::uint64_t stampNext = 0;
+        std::uint64_t stampEnd = 0;
+
+      public:
+        Shard(Shard &&) = default;
+        Shard &operator=(Shard &&) = default;
+    };
+
+    /**
+     * Arm concurrent mode (idempotent). Requires assoc() == 1: the
+     * MT hot path shares lookupRun's direct-mapped cost model.
+     */
+    void enableConcurrent();
+
+    /** True once enableConcurrent() has run. */
+    bool concurrent() const { return numStripes != 0; }
+
+    /** A zeroed per-worker context for this cache. */
+    Shard makeShard() const;
+
+    /**
+     * Fold a worker's stat deltas into the global stats and zero
+     * them. Serialized internally; callable while other workers are
+     * still probing (their deltas are simply not included yet).
+     */
+    void absorbShard(Shard &sh);
+
+    /** lookup() under the set's stripe lock, stats into @p sh. */
+    CacheProbe lookupMT(mem::ProcId pid, mem::Vpn vpn, Shard &sh);
+
+    /** lookupRun() locking stripe-by-stripe, stats into @p sh. */
+    RunHits lookupRunMT(mem::ProcId pid, mem::Vpn start, std::size_t n,
+                        mem::Pfn *pfns, LineRef *first_hit, Shard &sh);
+
+    /** hitViaRef() under the line's stripe lock, stats into @p sh. */
+    bool hitViaRefMT(LineRef &ref, mem::ProcId pid, mem::Vpn vpn,
+                     CacheProbe &out, Shard &sh);
+
+    /** insert() under the set's stripe lock, stats into @p sh. */
+    std::optional<EvictedEntry>
+    insertMT(mem::ProcId pid, mem::Vpn vpn, mem::Pfn pfn,
+             InsertMode mode, Shard &sh);
+
+    /** @} */
+
+    /**
      * Install a translation, evicting the set's LRU entry if the
      * set is full. Prefetch-mode refreshes leave the line's LRU
      * stamp untouched (see InsertMode).
@@ -249,11 +354,33 @@ class SharedUtlbCache
     /** Invalidate a line, scrubbing its recency stamp. */
     static void killLine(Line &line);
 
+    /** Sets per lock stripe; a batched run re-locks this often. */
+    static constexpr std::size_t kSetsPerStripeLog2 = 6;
+    static constexpr std::size_t kSetsPerStripe = 1 << kSetsPerStripeLog2;
+
+    /** LRU stamps carved off useClock per relaxed fetch-add. */
+    static constexpr std::uint64_t kStampBlock = 1024;
+
+    sim::Spinlock &stripeOf(std::size_t set)
+    {
+        return stripes[set >> kSetsPerStripeLog2];
+    }
+
+    /** Next LRU stamp for a concurrent worker (refills its block). */
+    std::uint64_t nextStamp(Shard &sh);
+
     CacheConfig config;
     const nic::NicTimings *timings;
     std::size_t numSets;
     std::vector<Line> lines;  //!< numSets * assoc, set-major
     std::uint64_t useClock = 0;
+
+    /** Stripe locks; non-null only once enableConcurrent() ran. */
+    std::unique_ptr<sim::Spinlock[]> stripes;
+    std::size_t numStripes = 0;
+
+    /** Serializes absorbShard() callers against each other. */
+    std::mutex absorbMu;
 
     /** Valid entries at the last resetStats(), for the audit. */
     std::size_t statsBaseValid = 0;

@@ -16,6 +16,23 @@ UserUtlb::UserUtlb(UtlbDriver &drv, SharedUtlbCache &cache,
     if (cfg.prefetchEntries == 0)
         sim::fatal("prefetchEntries must be >= 1");
     statsGrp.adopt(pinMgr.stats());
+    if (cfg.concurrent) {
+        nicCache->enableConcurrent();
+        pinMgr.enableConcurrent();
+        shard.emplace(nicCache->makeShard());
+    }
+}
+
+UserUtlb::~UserUtlb()
+{
+    flushShardStats();
+}
+
+void
+UserUtlb::flushShardStats()
+{
+    if (shard)
+        nicCache->absorbShard(*shard);
 }
 
 EnsureResult
@@ -40,7 +57,8 @@ NicLookup
 UserUtlb::nicTranslateImpl(Vpn vpn)
 {
     NicLookup out;
-    CacheProbe probe = nicCache->lookup(procId, vpn);
+    CacheProbe probe = shard ? nicCache->lookupMT(procId, vpn, *shard)
+                             : nicCache->lookup(procId, vpn);
     out.cost += probe.cost;
     if (tracer)
         tracer->complete("cache.probe", "nic", procId, probe.cost,
@@ -92,9 +110,12 @@ UserUtlb::nicTranslateImpl(Vpn vpn)
     for (std::size_t i = 0; i < run.size(); ++i) {
         if (!run[i])
             continue;
-        nicCache->insert(procId, vpn + i, *run[i],
-                         i == 0 ? InsertMode::Demand
-                                : InsertMode::Prefetch);
+        InsertMode mode =
+            i == 0 ? InsertMode::Demand : InsertMode::Prefetch;
+        if (shard)
+            nicCache->insertMT(procId, vpn + i, *run[i], mode, *shard);
+        else
+            nicCache->insert(procId, vpn + i, *run[i], mode);
         if (i != 0)
             ++statPrefetchInstalls;
         ++installed;
@@ -209,7 +230,10 @@ UserUtlb::translateRange(mem::VirtAddr va, std::size_t nbytes)
 
     std::size_t i = 0;
     CacheProbe fast;
-    if (nicCache->hitViaRef(l0, procId, start, fast)) {
+    bool l0Hit = shard
+        ? nicCache->hitViaRefMT(l0, procId, start, fast, *shard)
+        : nicCache->hitViaRef(l0, procId, start, fast);
+    if (l0Hit) {
         // Same first page as a recent call: the L0 handle revalidated,
         // recorded the hit, and spared us the cache probe.
         statTranslateLatency.sample(sim::ticksToUs(fast.cost));
@@ -219,9 +243,12 @@ UserUtlb::translateRange(mem::VirtAddr va, std::size_t nbytes)
     }
 
     while (i < npages) {
-        RunHits run = nicCache->lookupRun(procId, start + i, npages - i,
-                                          slots + i,
-                                          i == 0 ? &l0 : nullptr);
+        SharedUtlbCache::LineRef *ref = i == 0 ? &l0 : nullptr;
+        RunHits run = shard
+            ? nicCache->lookupRunMT(procId, start + i, npages - i,
+                                    slots + i, ref, *shard)
+            : nicCache->lookupRun(procId, start + i, npages - i,
+                                  slots + i, ref);
         if (run.hits > 0) {
             // Every hit in the run has the same modeled latency;
             // sampleN folds them without perturbing the histogram.

@@ -47,6 +47,21 @@ struct UtlbConfig {
      * (§6.4 prefetching); 1 = no prefetch.
      */
     std::size_t prefetchEntries = 1;
+
+    /**
+     * Build this process' UTLB view for multi-threaded use: arms the
+     * shared cache's striped locking and the pin manager's mutex,
+     * and gives this instance a per-worker stat shard. One thread
+     * drives each UserUtlb (the instance itself is not shared); the
+     * shared cache and driver below it are then safe to hit from all
+     * such workers at once. Requires a direct-mapped cache.
+     *
+     * With a single worker, results, modeled costs, and the stats
+     * tree (after flushShardStats) are bit-identical to the
+     * sequential mode — concurrency changes wall-clock behaviour
+     * only.
+     */
+    bool concurrent = false;
 };
 
 /** NIC-side outcome for one page. */
@@ -93,8 +108,22 @@ class UserUtlb
              const nic::NicTimings &timings, mem::ProcId pid,
              const UtlbConfig &cfg);
 
+    /** Flushes any remaining shard deltas (concurrent mode). */
+    ~UserUtlb();
+
     mem::ProcId pid() const { return procId; }
     const UtlbConfig &config() const { return cfg; }
+
+    /** True if built with UtlbConfig::concurrent. */
+    bool concurrent() const { return shard.has_value(); }
+
+    /**
+     * Concurrent mode: fold this worker's buffered shared-cache stat
+     * deltas into the cache's global counters. Call after the worker
+     * quiesces (and before reading the stats tree); the destructor
+     * also flushes. No-op in sequential mode.
+     */
+    void flushShardStats();
 
     /**
      * Host-side half: make sure every page of [va, va+nbytes) is
@@ -151,6 +180,13 @@ class UserUtlb
 
     /** Reused readRun buffer: the miss path must not allocate. */
     std::vector<std::optional<mem::Pfn>> runBuf;
+
+    /**
+     * Per-worker shared-cache context (concurrent mode only). Like
+     * runBuf and l0, this is single-owner state: one thread drives
+     * this UserUtlb, so no lock guards it.
+     */
+    std::optional<SharedUtlbCache::Shard> shard;
 
     /** MRU "L0" slot: the line that served the last first-page hit. */
     SharedUtlbCache::LineRef l0;

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A minimal test-and-test-and-set spinlock.
+ *
+ * Used for the striped per-set locks of the concurrent Shared
+ * UTLB-Cache: critical sections there are a handful of loads and
+ * stores on one cache line, far below the cost of parking a thread,
+ * so spinning beats std::mutex. The relaxed re-test loop keeps the
+ * waiting thread reading its local cache copy instead of hammering
+ * the lock line with RMW traffic.
+ */
+
+#ifndef UTLB_SIM_SPINLOCK_HPP
+#define UTLB_SIM_SPINLOCK_HPP
+
+#include <atomic>
+
+namespace utlb::sim {
+
+class Spinlock
+{
+  public:
+    Spinlock() = default;
+
+    Spinlock(const Spinlock &) = delete;
+    Spinlock &operator=(const Spinlock &) = delete;
+
+    void
+    lock()
+    {
+        while (flag.test_and_set(std::memory_order_acquire)) {
+            while (flag.test(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+                __builtin_ia32_pause();
+#endif
+            }
+        }
+    }
+
+    void
+    unlock()
+    {
+        flag.clear(std::memory_order_release);
+    }
+
+  private:
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+};
+
+/** Scoped Spinlock holder. */
+class SpinGuard
+{
+  public:
+    explicit SpinGuard(Spinlock &l) : lk(&l) { lk->lock(); }
+    ~SpinGuard() { lk->unlock(); }
+
+    SpinGuard(const SpinGuard &) = delete;
+    SpinGuard &operator=(const SpinGuard &) = delete;
+
+  private:
+    Spinlock *lk;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_SPINLOCK_HPP

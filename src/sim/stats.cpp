@@ -1,6 +1,7 @@
 #include "sim/stats.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <ostream>
 
@@ -31,6 +32,13 @@ StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
 {
     if (parent)
         parent->addStat(this);
+}
+
+void
+Counter::addRelaxed(std::uint64_t n)
+{
+    std::atomic_ref<std::uint64_t>(val).fetch_add(
+        n, std::memory_order_relaxed);
 }
 
 void
@@ -68,10 +76,8 @@ Average::writeJson(JsonWriter &w) const
     w.endObject();
 }
 
-Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
-                     double max, std::size_t buckets)
-    : StatBase(parent, std::move(name), std::move(desc)),
-      maxValBound(max),
+HistAccum::HistAccum(double max, std::size_t buckets)
+    : maxValBound(max),
       bucketWidth(max / static_cast<double>(buckets)),
       counts(buckets, 0),
       minVal(std::numeric_limits<double>::infinity()),
@@ -82,7 +88,7 @@ Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
 }
 
 void
-Histogram::sample(double v)
+HistAccum::sample(double v)
 {
     ++total;
     sum += v;
@@ -99,7 +105,7 @@ Histogram::sample(double v)
 }
 
 void
-Histogram::sampleN(double v, std::uint64_t n)
+HistAccum::sampleN(double v, std::uint64_t n)
 {
     if (n == 0)
         return;
@@ -122,41 +128,27 @@ Histogram::sampleN(double v, std::uint64_t n)
 }
 
 void
-Histogram::print(std::ostream &os) const
+HistAccum::absorb(HistAccum &other)
 {
-    os << statNameWidth(name()) << "hist(" << total << " samples, mean "
-       << mean() << ")  # " << desc() << '\n';
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-        if (!counts[i])
-            continue;
-        os << "    [" << i * bucketWidth << ", " << (i + 1) * bucketWidth
-           << "): " << counts[i] << '\n';
+    if (other.counts.size() != counts.size()
+        || other.maxValBound != maxValBound)
+        fatal("HistAccum::absorb geometry mismatch (%zu/%f vs %zu/%f)",
+              counts.size(), maxValBound, other.counts.size(),
+              other.maxValBound);
+    if (other.total != 0) {
+        total += other.total;
+        sum += other.sum;
+        minVal = std::min(minVal, other.minVal);
+        maxVal = std::max(maxVal, other.maxVal);
+        overflow += other.overflow;
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            counts[i] += other.counts[i];
     }
-    if (overflow)
-        os << "    overflow: " << overflow << '\n';
+    other.reset();
 }
 
 void
-Histogram::writeJson(JsonWriter &w) const
-{
-    w.beginObject(name());
-    w.field("type", "histogram");
-    w.field("samples", total);
-    w.field("mean", mean());
-    w.field("min", total ? minVal : 0.0);
-    w.field("max", total ? maxVal : 0.0);
-    w.field("bucket_width", bucketWidth);
-    w.beginArray("buckets");
-    for (std::uint64_t c : counts)
-        w.value(c);
-    w.endArray();
-    w.field("overflow", overflow);
-    w.field("desc", desc());
-    w.endObject();
-}
-
-void
-Histogram::reset()
+HistAccum::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
     overflow = 0;
@@ -164,6 +156,48 @@ Histogram::reset()
     sum = 0.0;
     minVal = std::numeric_limits<double>::infinity();
     maxVal = -std::numeric_limits<double>::infinity();
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     double max, std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      acc(max, buckets)
+{
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << statNameWidth(name()) << "hist(" << acc.total
+       << " samples, mean " << mean() << ")  # " << desc() << '\n';
+    for (std::size_t i = 0; i < acc.counts.size(); ++i) {
+        if (!acc.counts[i])
+            continue;
+        os << "    [" << i * acc.bucketWidth << ", "
+           << (i + 1) * acc.bucketWidth << "): " << acc.counts[i]
+           << '\n';
+    }
+    if (acc.overflow)
+        os << "    overflow: " << acc.overflow << '\n';
+}
+
+void
+Histogram::writeJson(JsonWriter &w) const
+{
+    w.beginObject(name());
+    w.field("type", "histogram");
+    w.field("samples", acc.total);
+    w.field("mean", mean());
+    w.field("min", acc.total ? acc.minVal : 0.0);
+    w.field("max", acc.total ? acc.maxVal : 0.0);
+    w.field("bucket_width", acc.bucketWidth);
+    w.beginArray("buckets");
+    for (std::uint64_t c : acc.counts)
+        w.value(c);
+    w.endArray();
+    w.field("overflow", acc.overflow);
+    w.field("desc", desc());
+    w.endObject();
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)

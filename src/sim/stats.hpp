@@ -64,6 +64,22 @@ class Counter : public StatBase
     Counter &operator++() { ++val; return *this; }
     Counter &operator+=(std::uint64_t n) { val += n; return *this; }
 
+    /**
+     * Atomically add @p n with relaxed ordering. For counters that
+     * sit off the hot path but can be bumped by concurrent threads
+     * (e.g. coherence invalidations under per-set locks); hot-path
+     * counters should accumulate into per-thread buffers and be
+     * folded in with absorb() instead.
+     */
+    void addRelaxed(std::uint64_t n);
+
+    /** Fold a per-thread delta in and zero it. */
+    void absorb(std::uint64_t &delta)
+    {
+        val += delta;
+        delta = 0;
+    }
+
     std::uint64_t value() const { return val; }
     void set(std::uint64_t v) { val = v; }
 
@@ -99,14 +115,14 @@ class Average : public StatBase
 };
 
 /**
- * A fixed-bucket histogram over [0, max) with uniform bucket width,
- * plus an overflow bucket.
+ * Shared accumulation core of Histogram and LocalHistogram: the
+ * bucket geometry plus running counts/sum/extrema. One struct, one
+ * sample() implementation — a thread-local buffer is thereby
+ * guaranteed to accumulate with exactly the arithmetic the global
+ * histogram uses, which the bit-exact absorb() contract depends on.
  */
-class Histogram : public StatBase
-{
-  public:
-    Histogram(StatGroup *parent, std::string name, std::string desc,
-              double max, std::size_t buckets);
+struct HistAccum {
+    HistAccum(double max, std::size_t buckets);
 
     void sample(double v);
 
@@ -118,21 +134,18 @@ class Histogram : public StatBase
      */
     void sampleN(double v, std::uint64_t n);
 
-    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
-    std::uint64_t overflowCount() const { return overflow; }
-    std::uint64_t samples() const { return total; }
-    double mean() const { return total ? sum / total : 0.0; }
-    double minSeen() const { return minVal; }
-    double maxSeen() const { return maxVal; }
+    /**
+     * Fold @p other in and reset it. When this accumulator holds no
+     * samples the merge is bit-exact: counts add in integers, and an
+     * empty running sum / min / max absorbs the other's values
+     * unchanged (0.0 + x == x, min(+inf, x) == x). A stats snapshot
+     * after merging therefore matches the sequential execution as
+     * long as every sample of the stat went through a single buffer.
+     */
+    void absorb(HistAccum &other);
 
-    double bucketWidthOf() const { return bucketWidth; }
-    std::size_t buckets() const { return counts.size(); }
+    void reset();
 
-    void print(std::ostream &os) const override;
-    void writeJson(JsonWriter &w) const override;
-    void reset() override;
-
-  private:
     double maxValBound;
     double bucketWidth;
     std::vector<std::uint64_t> counts;
@@ -141,6 +154,51 @@ class Histogram : public StatBase
     double sum = 0.0;
     double minVal = 0.0;
     double maxVal = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, max) with uniform bucket width,
+ * plus an overflow bucket.
+ */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              double max, std::size_t buckets);
+
+    void sample(double v) { acc.sample(v); }
+
+    /** See HistAccum::sampleN. */
+    void sampleN(double v, std::uint64_t n) { acc.sampleN(v, n); }
+
+    /** Fold a thread-local buffer in and reset it (see HistAccum). */
+    void absorb(HistAccum &local) { acc.absorb(local); }
+
+    /** A zeroed thread-local buffer with this histogram's geometry. */
+    HistAccum makeLocal() const
+    {
+        return HistAccum(acc.maxValBound, acc.counts.size());
+    }
+
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return acc.counts.at(i);
+    }
+    std::uint64_t overflowCount() const { return acc.overflow; }
+    std::uint64_t samples() const { return acc.total; }
+    double mean() const { return acc.total ? acc.sum / acc.total : 0.0; }
+    double minSeen() const { return acc.minVal; }
+    double maxSeen() const { return acc.maxVal; }
+
+    double bucketWidthOf() const { return acc.bucketWidth; }
+    std::size_t buckets() const { return acc.counts.size(); }
+
+    void print(std::ostream &os) const override;
+    void writeJson(JsonWriter &w) const override;
+    void reset() override { acc.reset(); }
+
+  private:
+    HistAccum acc;
 };
 
 /**
