@@ -14,7 +14,14 @@
  *                    scaling ceiling;
  *   mt_miss_prefetch all workers sweep the same sets under their own
  *                    pids: stripe locks, miss DMAs, and evictions
- *                    stay contended.
+ *                    stay contended;
+ *   mt_pin_churn     disjoint sweeps under a per-process pin limit
+ *                    half the working set: every window sheds and
+ *                    repins pages, so the PinManager mutex and the
+ *                    coherence-invalidate path carry the load;
+ *   mt_warm_assoc4   the warm disjoint sweep at 4-way associativity:
+ *                    page-at-a-time lookupMT through the per-set
+ *                    seqlock way search.
  *
  * Before timing anything, a fixed-iteration golden check replays an
  * identical workload through a sequential-mode and a concurrent-mode
@@ -69,61 +76,15 @@ maxThreads()
     return 4;
 }
 
-/** Serialize a 1-worker stack's full stats tree. */
-std::string
-statsDump(MtStack &stack)
-{
-    stack.views[0]->flushShardStats();
-    sim::StatGroup root{"stack"};
-    root.adopt(stack.cache.stats());
-    root.adopt(stack.driver.stats());
-    root.adopt(stack.pins.stats());
-    root.adopt(stack.sram.stats());
-    root.adopt(stack.views[0]->stats());
-    std::ostringstream os;
-    root.dumpJson(os);
-    return os.str();
-}
-
-/**
- * Threads=1 golden equivalence: a concurrent-mode stack driven by
- * one thread must be indistinguishable — results, modeled costs,
- * stats tree — from the sequential path over the same workload.
- */
-void
-checkGoldenEquivalence(const MtScenario &sc)
-{
-    MtStack seq(sc, 1, false);
-    MtStack mt(sc, 1, true);
-    std::size_t nbytes = sc.windowPages * mem::kPageSize;
-    std::size_t nwindows = sc.perWorkerPages / sc.windowPages;
-    // Two full passes: cold misses + pins, then steady state.
-    for (std::size_t w = 0; w < 2 * nwindows; ++w) {
-        mem::VirtAddr va =
-            ((w % nwindows) * sc.windowPages) * mem::kPageSize;
-        core::Translation a = seq.views[0]->translateRange(va, nbytes);
-        core::Translation b = mt.views[0]->translateRange(va, nbytes);
-        if (a.hostCost != b.hostCost || a.nicCost != b.nicCost
-            || a.niMisses != b.niMisses
-            || a.pageAddrs != b.pageAddrs
-            || a.missPages != b.missPages)
-            sim::fatal("%s: concurrent mode diverged from sequential "
-                       "at window %zu",
-                       sc.name, w);
-    }
-    if (statsDump(seq) != statsDump(mt))
-        sim::fatal("%s: concurrent-mode stats tree diverged from "
-                   "sequential",
-                   sc.name);
-}
-
 } // namespace
 
 int
 main()
 {
     const MtScenario scenarios[] = {bench::kMtWarm,
-                                    bench::kMtMissPrefetch};
+                                    bench::kMtMissPrefetch,
+                                    bench::kMtPinChurn,
+                                    bench::kMtWarmAssoc4};
     double ms = budgetMs();
     unsigned nmax = maxThreads();
 
@@ -136,7 +97,9 @@ main()
                      "ns/page", "modeled us/page", "efficiency"});
 
     for (const MtScenario &sc : scenarios) {
-        checkGoldenEquivalence(sc);
+        std::string divergence = bench::mtGoldenDivergence(sc);
+        if (!divergence.empty())
+            sim::fatal("%s", divergence.c_str());
         json.add({{"scenario", sc.name}, {"mode", "golden"}},
                  {{"golden_equivalence", 1.0}});
 

@@ -30,6 +30,8 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
 #include "sim/log.hpp"
+#include "sim/stats.hpp"
 
 namespace bench {
 
@@ -52,9 +55,11 @@ struct MtScenario {
     const char *name;
     std::size_t perWorkerPages;  //!< pages each worker sweeps
     std::size_t windowPages;     //!< pages per translateRange call
-    std::size_t entries;         //!< NIC cache entries (direct-mapped)
+    std::size_t entries;         //!< total NIC cache entries
     std::size_t prefetch;        //!< entries fetched per miss
     bool sharedRange;            //!< all workers sweep the same vpns
+    unsigned assoc = 1;          //!< cache ways (1 = direct-mapped)
+    std::size_t memLimitPages = 0;  //!< per-process pin cap (0 = off)
 };
 
 /** Warm, all-hits scaling cell (the acceptance scenario). */
@@ -64,6 +69,23 @@ inline constexpr MtScenario kMtWarm{"mt_warm", 1024, 64, 8192, 1,
 /** Contended miss + prefetch-refill cell. */
 inline constexpr MtScenario kMtMissPrefetch{"mt_miss_prefetch", 4096,
                                             64, 1024, 32, true};
+
+/**
+ * Pin-churn cell: each worker sweeps twice as many pages as its pin
+ * limit admits, so every window unpins LRU pages (shed + NIC-cache
+ * coherence drop) and repins the incoming ones — the contended
+ * PinManager-mutex / invalidate-path scenario.
+ */
+inline constexpr MtScenario kMtPinChurn{"mt_pin_churn", 512, 64, 8192,
+                                        8, false, 1, 256};
+
+/**
+ * Warm 4-way associative cell: the disjoint all-hits sweep through
+ * the seqlock way-search path (translateRange goes page-at-a-time
+ * through lookupMT when assoc > 1).
+ */
+inline constexpr MtScenario kMtWarmAssoc4{"mt_warm_assoc4", 512, 64,
+                                          8192, 1, false, 4};
 
 /** One NIC, N worker processes, each with a concurrent UserUtlb. */
 struct MtStack {
@@ -84,8 +106,8 @@ struct MtStack {
           // Index offsetting off: worker vpn ranges map to cache
           // sets verbatim, so the disjoint/shared scenario shapes
           // control set overlap directly.
-          cache(core::CacheConfig{sc.entries, 1, false}, timings,
-                &sram),
+          cache(core::CacheConfig{sc.entries, sc.assoc, false},
+                timings, &sram),
           driver(phys, pins, sram, cache, costs)
     {
         for (unsigned w = 0; w < nworkers; ++w) {
@@ -96,6 +118,7 @@ struct MtStack {
             core::UtlbConfig ucfg;
             ucfg.prefetchEntries = sc.prefetch;
             ucfg.concurrent = concurrent;
+            ucfg.pin.memLimitPages = sc.memLimitPages;
             views.push_back(std::make_unique<core::UserUtlb>(
                 driver, cache, timings, pid, ucfg));
         }
@@ -133,6 +156,59 @@ struct MtCell {
             : 0.0;
     }
 };
+
+/** Serialize a 1-worker stack's full stats tree. */
+inline std::string
+mtStatsDump(MtStack &stack)
+{
+    stack.views[0]->flushShardStats();
+    utlb::sim::StatGroup root{"stack"};
+    root.adopt(stack.cache.stats());
+    root.adopt(stack.driver.stats());
+    root.adopt(stack.pins.stats());
+    root.adopt(stack.sram.stats());
+    root.adopt(stack.views[0]->stats());
+    std::ostringstream os;
+    root.dumpJson(os);
+    return os.str();
+}
+
+/**
+ * Threads=1 golden equivalence: a concurrent-mode stack driven by
+ * one thread must be indistinguishable — results, modeled costs,
+ * stats tree — from the sequential path over the same workload.
+ * Returns a description of the first divergence, or "" if the
+ * scenario holds. Shared between bench_mt (which fatals on a
+ * non-empty result before timing anything) and the regression tests.
+ */
+inline std::string
+mtGoldenDivergence(const MtScenario &sc)
+{
+    MtStack seq(sc, 1, false);
+    MtStack mt(sc, 1, true);
+    std::size_t nbytes = sc.windowPages * mem::kPageSize;
+    std::size_t nwindows = sc.perWorkerPages / sc.windowPages;
+    // Two full passes: cold misses + pins, then steady state (with a
+    // pin limit, the second pass keeps shedding and repinning).
+    for (std::size_t w = 0; w < 2 * nwindows; ++w) {
+        mem::VirtAddr va =
+            ((w % nwindows) * sc.windowPages) * mem::kPageSize;
+        core::Translation a = seq.views[0]->translateRange(va, nbytes);
+        core::Translation b = mt.views[0]->translateRange(va, nbytes);
+        if (a.hostCost != b.hostCost || a.nicCost != b.nicCost
+            || a.niMisses != b.niMisses
+            || a.pageAddrs != b.pageAddrs
+            || a.missPages != b.missPages)
+            return std::string(sc.name)
+                + ": concurrent mode diverged from sequential at "
+                  "window "
+                + std::to_string(w);
+    }
+    if (mtStatsDump(seq) != mtStatsDump(mt))
+        return std::string(sc.name)
+            + ": concurrent-mode stats tree diverged from sequential";
+    return "";
+}
 
 /**
  * Run @p nworkers threads over @p stack for ~@p budget_ms of wall

@@ -5,9 +5,43 @@
  * offsetting) plus a direct-mapped cache without offsetting
  * ("direct-nohash"), for all seven workloads with infinite host
  * memory and no prefetch.
+ *
+ * Alongside the modeled miss rates, the harness emits wall-clock
+ * `mt` cells into BENCH_table8_associativity.json: for each
+ * associativity of the paper's sweep it first replays the warm
+ * disjoint workload through a single concurrent worker and dies
+ * unless it matches the sequential path bit-for-bit (the
+ * golden_equivalence marker), then times a 2-worker steady-state
+ * sweep through the seqlock way-search path. UTLB_MT_MS bounds the
+ * per-cell budget (default 60 ms).
  */
 
+#include <cstdlib>
+
 #include "bench_common.hpp"
+#include "bench_mt_common.hpp"
+
+namespace {
+
+/** The warm disjoint sweep of bench_mt, one cell per paper assoc. */
+constexpr bench::MtScenario kMtAssoc[] = {
+    {"table8_mt_assoc1", 512, 64, 8192, 1, false, 1},
+    {"table8_mt_assoc2", 512, 64, 8192, 1, false, 2},
+    {"table8_mt_assoc4", 512, 64, 8192, 1, false, 4},
+};
+
+double
+mtBudgetMs()
+{
+    if (const char *e = std::getenv("UTLB_MT_MS")) {
+        double v = std::atof(e);
+        if (v > 0)
+            return v;
+    }
+    return 60.0;
+}
+
+} // namespace
 
 int
 main()
@@ -31,6 +65,8 @@ main()
         {"direct-nohash", 1, false},
     };
 
+    JsonReporter json("table8_associativity");
+
     utlb::sim::TextTable t(
         "Table 8: overall Shared UTLB-Cache miss rates (misses per "
         "probe; infinite memory, no prefetch)");
@@ -50,12 +86,40 @@ main()
             for (const auto &n : names) {
                 auto res = simulateUtlb(traces.get(n), cfg);
                 row.push_back(rate(res.probeMissRate()));
+                json.add({{"workload", n},
+                          {"cache", sizeLabel(entries)},
+                          {"variant", v.label},
+                          {"mode", "modeled"}},
+                         {{"miss_rate", res.probeMissRate()}});
             }
             t.addRow(row);
         }
         t.addRule();
     }
     t.print(std::cout);
+
+    // Wall-clock mt cells: the same associativity sweep through the
+    // concurrent stack. Golden equivalence gates each cell exactly as
+    // in bench_mt.
+    const unsigned mtThreads = 2;
+    const double ms = mtBudgetMs();
+    json.setWorkerThreads(mtThreads);
+    for (const MtScenario &sc : kMtAssoc) {
+        std::string divergence = mtGoldenDivergence(sc);
+        if (!divergence.empty())
+            utlb::sim::fatal("%s", divergence.c_str());
+        MtStack stack(sc, mtThreads, true);
+        MtCell cell = runMtCell(sc, stack, mtThreads, ms);
+        json.add({{"scenario", sc.name},
+                  {"mode", "mt"},
+                  {"assoc", std::to_string(sc.assoc)}},
+                 {{"golden_equivalence", 1.0},
+                  {"assoc", static_cast<double>(sc.assoc)},
+                  {"threads", static_cast<double>(mtThreads)},
+                  {"pages_per_sec", cell.pagesPerSec()},
+                  {"ns_per_page", cell.nsPerPage()},
+                  {"modeled_us_per_page", cell.modeledUsPerPage()}});
+    }
 
     std::cout << "\nPaper shape checks: direct-mapped with offsetting "
                  "is competitive with (often better than) 2-way and "

@@ -28,6 +28,29 @@ processOffset(ProcId pid)
     return static_cast<std::uint64_t>(pid) * 2654435761ull;
 }
 
+/**
+ * Relaxed atomic access to the seqlock-protected line fields (valid,
+ * pid, vpn, pfn). Optimistic readers and the stripe-locked writers
+ * both go through these, so every racing access is atomic — the
+ * seqlock version only has to make torn snapshots *detectable*, and
+ * ThreadSanitizer sees no data race. lastUse is deliberately not
+ * covered: recency stamps are only ever touched under the stripe
+ * lock (or at quiescence) and never read optimistically.
+ */
+template <class T>
+T
+loadRelaxed(T &field)
+{
+    return std::atomic_ref<T>(field).load(std::memory_order_relaxed);
+}
+
+template <class T>
+void
+storeRelaxed(T &field, T value)
+{
+    std::atomic_ref<T>(field).store(value, std::memory_order_relaxed);
+}
+
 } // namespace
 
 SharedUtlbCache::SharedUtlbCache(const CacheConfig &cfg,
@@ -112,8 +135,13 @@ RunHits
 SharedUtlbCache::lookupRun(ProcId pid, Vpn start, std::size_t n,
                            Pfn *pfns, LineRef *first_hit)
 {
+    // A cost-model restriction, not a structural one: RunHits models
+    // one shared perHitCost, which only holds when every hit is a
+    // single-way probe. Associative callers take the page-at-a-time
+    // path, whose per-page probe counts price each way probed.
     UTLB_ASSERT(config.assoc == 1,
-                "lookupRun requires a direct-mapped cache");
+                "lookupRun requires a direct-mapped cache (RunHits "
+                "carries a single shared per-hit probe cost)");
     RunHits out;
     out.perHitCost = timings->cacheHitCost;
 
@@ -150,11 +178,16 @@ SharedUtlbCache::hitViaRef(LineRef &ref, ProcId pid, Vpn vpn,
     Line *line = ref.line;
     if (!line || !line->valid || line->pid != pid || line->vpn != vpn)
         return false;
-    // A ref only exists for direct-mapped caches (lookupRun), where
-    // every hit is a first-way probe at the constant hit cost.
+    // A ref pins the exact way that served the original hit (for
+    // refs minted by lookupRun, always way 0 of a direct-mapped
+    // set), so the modeled firmware re-probe charges that way's
+    // probe depth.
+    auto way = static_cast<unsigned>(
+        static_cast<std::size_t>(line - lines.data()) % config.assoc);
     out.hit = true;
     out.pfn = line->pfn;
-    out.cost = timings->cacheHitCost;
+    out.cost = timings->cacheHitCost
+        + Tick{way} * timings->perWayProbeCost;
     line->lastUse = ++useClock;
     ++statHits;
     statProbeLatency.sample(sim::ticksToUs(out.cost));
@@ -166,10 +199,10 @@ SharedUtlbCache::enableConcurrent()
 {
     if (concurrent())
         return;
-    if (config.assoc != 1)
-        fatal("concurrent mode requires a direct-mapped cache "
-              "(assoc 1, got %u)",
-              config.assoc);
+    // Any associativity: probes validate a set's ways against its
+    // seqlock version, writers bump that version under the set's
+    // stripe lock. The paper's sweep runs 1-, 2-, and 4-way (§3.2).
+    seqs = std::make_unique<sim::SeqCount[]>(numSets);
     stripes = std::make_unique<sim::Spinlock[]>(
         (numSets + kSetsPerStripe - 1) / kSetsPerStripe);
     numStripes = (numSets + kSetsPerStripe - 1) / kSetsPerStripe;
@@ -209,25 +242,85 @@ SharedUtlbCache::nextStamp(Shard &sh)
     return sh.stampNext++;
 }
 
+unsigned
+SharedUtlbCache::probeSetMT(std::size_t set, ProcId pid, Vpn vpn,
+                            unsigned &way, Pfn &pfn, Shard &sh)
+{
+    Line *base = &lines[set * config.assoc];
+    sim::SeqCount &seq = seqs[set];
+    for (unsigned attempt = 0; attempt < kSeqlockMaxRetries;
+         ++attempt) {
+        std::uint32_t v = seq.readBegin();
+        unsigned probes = config.assoc;
+        way = config.assoc;
+        for (unsigned w = 0; w < config.assoc; ++w) {
+            Line &line = base[w];
+            if (loadRelaxed(line.valid)
+                && loadRelaxed(line.pid) == pid
+                && loadRelaxed(line.vpn) == vpn) {
+                way = w;
+                probes = w + 1;
+                pfn = loadRelaxed(line.pfn);
+                break;
+            }
+        }
+        if (!seq.readRetry(v))
+            return probes;
+        ++sh.seqRetries;
+    }
+    // Writers are hammering this set; take their lock instead of
+    // spinning forever (the readers' progress guarantee). Under it
+    // the scan cannot race anything.
+    sim::SpinGuard g(stripeOf(set));
+    unsigned probes = config.assoc;
+    way = config.assoc;
+    for (unsigned w = 0; w < config.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.pid == pid && line.vpn == vpn) {
+            way = w;
+            probes = w + 1;
+            pfn = line.pfn;
+            break;
+        }
+    }
+    return probes;
+}
+
+void
+SharedUtlbCache::stampWayMT(std::size_t set, unsigned way, ProcId pid,
+                            Vpn vpn, Shard &sh)
+{
+    sim::SpinGuard g(stripeOf(set));
+    Line &line = lines[set * config.assoc + way];
+    // If a writer reclaimed the way since the optimistic read, the
+    // (already-consistent) hit simply leaves no recency mark — a
+    // stamp here would resurrect a dead or foreign line.
+    if (line.valid && line.pid == pid && line.vpn == vpn)
+        line.lastUse = nextStamp(sh);
+}
+
 CacheProbe
 SharedUtlbCache::lookupMT(ProcId pid, Vpn vpn, Shard &sh)
 {
-    // Direct-mapped (enforced by enableConcurrent), so every probe
-    // checks exactly one way at the constant hit cost.
     CacheProbe probe;
-    probe.cost = timings->cacheHitCost;
-    sh.probeLatency.sample(sim::ticksToUs(probe.cost));
     std::size_t set = setIndex(pid, vpn);
-    sim::SpinGuard g(stripeOf(set));
-    Line &line = lines[set];
-    if (line.valid && line.pid == pid && line.vpn == vpn) {
-        probe.hit = true;
-        probe.pfn = line.pfn;
-        line.lastUse = nextStamp(sh);
-        ++sh.hits;
-    } else {
+    unsigned way = config.assoc;
+    Pfn pfn = mem::kInvalidPfn;
+    unsigned probes = probeSetMT(set, pid, vpn, way, pfn, sh);
+    // Same firmware model as lookup(): the first way probed is the
+    // published constant hit cost, each further way adds
+    // perWayProbeCost (§6.3).
+    probe.cost = timings->cacheHitCost
+        + Tick{probes > 0 ? probes - 1 : 0} * timings->perWayProbeCost;
+    sh.probeLatency.sample(sim::ticksToUs(probe.cost));
+    if (way == config.assoc) {
         ++sh.misses;
+        return probe;
     }
+    probe.hit = true;
+    probe.pfn = pfn;
+    stampWayMT(set, way, pid, vpn, sh);
+    ++sh.hits;
     return probe;
 }
 
@@ -235,11 +328,20 @@ RunHits
 SharedUtlbCache::lookupRunMT(ProcId pid, Vpn start, std::size_t n,
                              Pfn *pfns, LineRef *first_hit, Shard &sh)
 {
+    // Same cost-model restriction as lookupRun (one shared
+    // perHitCost); associative MT callers go page-at-a-time through
+    // lookupMT, which prices every way probed.
+    UTLB_ASSERT(config.assoc == 1,
+                "lookupRunMT requires a direct-mapped cache (RunHits "
+                "carries a single shared per-hit probe cost)");
     RunHits out;
     out.perHitCost = timings->cacheHitCost;
 
-    // Same consecutive-set walk as lookupRun, taking each stripe's
-    // lock once for the (up to) kSetsPerStripe sets it covers.
+    // Same consecutive-set walk as lookupRun. Each stripe's window
+    // is read optimistically (per-set seqlock validation, no lock
+    // held), then the stripe lock is taken once to stamp the
+    // window's hits — so readers only serialize against writers for
+    // the stamping stores, never the probes.
     std::size_t set = setIndex(pid, start);
     std::size_t i = 0;
     bool missed = false;
@@ -247,18 +349,37 @@ SharedUtlbCache::lookupRunMT(ProcId pid, Vpn start, std::size_t n,
         std::size_t stripe_end = std::min(
             ((set >> kSetsPerStripeLog2) + 1) << kSetsPerStripeLog2,
             numSets);
-        sim::SpinGuard g(stripeOf(set));
+        const std::size_t windowSet = set;
+        const std::size_t windowI = i;
         for (; i < n && set < stripe_end; ++set, ++i) {
-            Line &line = lines[set];
-            if (!(line.valid && line.pid == pid
-                  && line.vpn == start + i)) {
+            unsigned way = 1;
+            Pfn pfn = mem::kInvalidPfn;
+            probeSetMT(set, pid, start + i, way, pfn, sh);
+            if (way == config.assoc) {
                 missed = true;  // record nothing, caller re-probes
                 break;
             }
-            line.lastUse = nextStamp(sh);
-            pfns[i] = line.pfn;
-            if (i == 0 && first_hit)
-                first_hit->line = &line;
+            pfns[i] = pfn;
+        }
+        std::size_t hitsHere = i - windowI;
+        if (hitsHere > 0) {
+            sim::SpinGuard g(stripeOf(windowSet));
+            for (std::size_t k = 0; k < hitsHere; ++k) {
+                Line &line = lines[windowSet + k];
+                // Re-validate: a concurrent writer may have
+                // reclaimed the way since the optimistic read, and
+                // a skipped stamp is the only correct outcome then.
+                if (line.valid && line.pid == pid
+                    && line.vpn == start + windowI + k)
+                    line.lastUse = nextStamp(sh);
+            }
+            if (windowI == 0 && first_hit) {
+                // Mint the ref under the stripe lock: the version
+                // recorded here is even and stays authoritative for
+                // hitViaRefMT until the next tag write in the set.
+                first_hit->line = &lines[windowSet];
+                first_hit->version = seqs[windowSet].value();
+            }
         }
         if (set == numSets)
             set = 0;
@@ -280,14 +401,25 @@ SharedUtlbCache::hitViaRefMT(LineRef &ref, ProcId pid, Vpn vpn,
     Line *line = ref.line;
     if (!line)
         return false;
-    // assoc == 1, so the line's array index is its set index.
-    std::size_t set = static_cast<std::size_t>(line - lines.data());
+    std::size_t idx = static_cast<std::size_t>(line - lines.data());
+    std::size_t set = idx / config.assoc;
+    auto way = static_cast<unsigned>(idx % config.assoc);
     sim::SpinGuard g(stripeOf(set));
+    // Version guard: the set must not have seen a single tag write
+    // since the ref was minted, or the way may have been reclaimed
+    // for another translation — any churn demotes the ref to a
+    // clean miss and the caller re-probes.
+    if (seqs[set].value() != ref.version)
+        return false;
     if (!line->valid || line->pid != pid || line->vpn != vpn)
         return false;
     out.hit = true;
     out.pfn = line->pfn;
-    out.cost = timings->cacheHitCost;
+    // The ref pins the exact way that served the original hit, so
+    // the modeled re-probe charges that way's probe depth (way 0 —
+    // the only minted way today — is the constant hit cost).
+    out.cost = timings->cacheHitCost
+        + Tick{way} * timings->perWayProbeCost;
     line->lastUse = nextStamp(sh);
     ++sh.hits;
     sh.probeLatency.sample(sim::ticksToUs(out.cost));
@@ -300,23 +432,59 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
 {
     ++sh.inserts;
     std::size_t set = setIndex(pid, vpn);
+    Line *base = &lines[set * config.assoc];
+    sim::SeqCount &seq = seqs[set];
     sim::SpinGuard g(stripeOf(set));
-    Line &line = lines[set];
-    if (line.valid && line.pid == pid && line.vpn == vpn) {
-        line.pfn = pfn;
-        if (mode == InsertMode::Demand)
+
+    // Re-insert over an existing entry (refresh); prefetch refreshes
+    // leave recency alone (§6.4), exactly as insert(). Only the pfn
+    // store needs the version bump — the tags are unchanged.
+    for (unsigned w = 0; w < config.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.pid == pid && line.vpn == vpn) {
+            seq.writeBegin();
+            storeRelaxed(line.pfn, pfn);
+            seq.writeEnd();
+            if (mode == InsertMode::Demand)
+                line.lastUse = nextStamp(sh);
+            ++sh.refreshes;
+            return std::nullopt;
+        }
+    }
+
+    // Fill an invalid way if one exists.
+    for (unsigned w = 0; w < config.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            seq.writeBegin();
+            storeRelaxed(line.pid, pid);
+            storeRelaxed(line.vpn, vpn);
+            storeRelaxed(line.pfn, pfn);
+            storeRelaxed(line.valid, true);
+            seq.writeEnd();
             line.lastUse = nextStamp(sh);
-        ++sh.refreshes;
-        return std::nullopt;
+            return std::nullopt;
+        }
     }
-    if (!line.valid) {
-        line = Line{true, pid, vpn, pfn, nextStamp(sh)};
-        return std::nullopt;
+
+    // Evict the LRU way; stamps are stable under the stripe lock,
+    // so the victim scan matches insert()'s decision bit-for-bit
+    // with a single worker.
+    Line *victim = base;
+    for (unsigned w = 1; w < config.assoc; ++w) {
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
     }
-    EvictedEntry victim{line.pid, line.vpn, line.pfn};
-    line = Line{true, pid, vpn, pfn, nextStamp(sh)};
+    EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
+    seq.writeBegin();
+    storeRelaxed(victim->pid, pid);
+    storeRelaxed(victim->vpn, vpn);
+    storeRelaxed(victim->pfn, pfn);
+    storeRelaxed(victim->valid, true);
+    seq.writeEnd();
+    victim->lastUse = nextStamp(sh);
     ++sh.evictions;
-    return victim;
+    return out;
 }
 
 std::optional<Pfn>
@@ -386,18 +554,28 @@ SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
 {
     if (concurrent()) {
         // Unpin-path coherence drops race with other workers'
-        // probes, so take the line's stripe lock; the counter bump
-        // is a relaxed RMW since it can race absorbShard() readers
-        // of sibling counters on the same cache line.
+        // optimistic probes, so scan the ways under the stripe lock
+        // and retire the match inside a seqlock write section; the
+        // counter bump is a relaxed RMW since it can race
+        // absorbShard() readers of sibling counters on the same
+        // cache line.
         std::size_t set = setIndex(pid, vpn);
-        bool dropped;
+        bool dropped = false;
         {
             sim::SpinGuard g(stripeOf(set));
-            Line &line = lines[set];
-            dropped =
-                line.valid && line.pid == pid && line.vpn == vpn;
-            if (dropped)
-                killLine(line);
+            Line *base = &lines[set * config.assoc];
+            for (unsigned w = 0; w < config.assoc; ++w) {
+                Line &line = base[w];
+                if (line.valid && line.pid == pid
+                    && line.vpn == vpn) {
+                    seqs[set].writeBegin();
+                    storeRelaxed(line.valid, false);
+                    seqs[set].writeEnd();
+                    line.lastUse = 0;
+                    dropped = true;
+                    break;
+                }
+            }
         }
         if (dropped)
             statInvalidations.addRelaxed(1);
@@ -541,6 +719,21 @@ SharedUtlbCache::audit(check::AuditReport &report) const
                    validEntries(), statsBaseValid,
                    static_cast<long long>(created),
                    static_cast<long long>(removed));
+
+    // Seqlock quiescence: the audit runs with no writer in flight, so
+    // every set's version counter must be even — an odd counter means
+    // a write section was entered and never closed, which would spin
+    // all future optimistic readers of that set into the lock-based
+    // fallback forever.
+    if (numStripes != 0) {
+        for (std::size_t set = 0; set < numSets; ++set) {
+            std::uint32_t v = seqs[set].value();
+            report.require((v & 1u) == 0,
+                           "set %zu seqlock version %u is odd at "
+                           "quiescence (unclosed write section)",
+                           set, v);
+        }
+    }
 }
 
 void

@@ -124,13 +124,20 @@ class SharedUtlbCache
     /**
      * A stable handle to the line that served a hit, letting a
      * repeat lookup of the same (pid, vpn) skip the probe. Obtained
-     * from lookupRun(); becomes a guaranteed miss (never a wrong
-     * hit) if the line is since evicted or retagged.
+     * from lookupRun()/lookupRunMT(); becomes a guaranteed miss
+     * (never a wrong hit) if the line is since evicted or retagged.
+     *
+     * In concurrent mode the ref also carries the set's seqlock
+     * version from when it was minted: hitViaRefMT() honours the ref
+     * only while that version still stands, so a stale ref can never
+     * return a reclaimed way — any insert, eviction, or invalidation
+     * in the set since the mint demotes the ref to a clean miss.
      */
     class LineRef
     {
         friend class SharedUtlbCache;
         Line *line = nullptr;
+        std::uint32_t version = 0;
     };
 
     /**
@@ -161,14 +168,24 @@ class SharedUtlbCache
      * The paper's host library and NIC firmware touch UTLB state
      * concurrently without syscalls on the common path; mirroring
      * that, the cache can serve probes and miss-fill installs from
-     * many threads at once. enableConcurrent() arms it:
+     * many threads at once, at any associativity (the paper's §3.2
+     * sweep runs 1/2/4-way). enableConcurrent() arms it:
      *
-     *  - the line array is partitioned into contiguous *stripes* of
-     *    kSetsPerStripe sets, each guarded by a spinlock. Consecutive
-     *    vpns map to consecutive sets, so a batched run re-locks only
-     *    at stripe boundaries — one acquisition per kSetsPerStripe
-     *    pages, and threads working disjoint set ranges never touch
-     *    the same lock;
+     *  - every set carries a seqlock version counter (sim::SeqCount).
+     *    lookupMT()/lookupRunMT() read the ways *optimistically* —
+     *    no lock, relaxed atomic field reads, retry on an odd or
+     *    changed version — so probes never serialize against each
+     *    other. After kSeqlockMaxRetries torn reads a probe falls
+     *    back to the set's stripe lock, bounding retries;
+     *  - writers (insertMT(), the concurrent invalidate()) mutate a
+     *    set's tags only inside a writeBegin()/writeEnd() version
+     *    bump, and only while holding the set's *stripe* spinlock:
+     *    the line array is partitioned into contiguous stripes of
+     *    kSetsPerStripe sets, each guarded by one spinlock, so
+     *    writers serialize per stripe while readers sail past.
+     *    Recording a hit's LRU stamp also takes the stripe lock (the
+     *    stamp write must not race an eviction) but does not bump
+     *    the version — stamps are never read optimistically;
      *  - hot-path statistics accumulate into a per-worker Shard
      *    buffer (no shared counter cache line on the probe path) and
      *    are folded into the global stats by absorbShard();
@@ -215,14 +232,33 @@ class SharedUtlbCache
         std::uint64_t stampNext = 0;
         std::uint64_t stampEnd = 0;
 
+        /** Torn optimistic reads this worker retried (diagnostic;
+         *  not part of the stats tree, not folded by absorbShard). */
+        std::uint64_t seqRetries = 0;
+
       public:
         Shard(Shard &&) = default;
         Shard &operator=(Shard &&) = default;
+
+        /**
+         * How many optimistic set reads this worker had to retry.
+         * Structurally bounded: after kSeqlockMaxRetries torn reads
+         * of one set the probe takes the stripe lock instead, so a
+         * single lookup contributes at most kSeqlockMaxRetries.
+         */
+        std::uint64_t seqlockRetries() const { return seqRetries; }
     };
 
     /**
-     * Arm concurrent mode (idempotent). Requires assoc() == 1: the
-     * MT hot path shares lookupRun's direct-mapped cost model.
+     * Optimistic-read retries of one set before a probe gives up and
+     * takes the stripe lock (the readers' progress guarantee).
+     */
+    static constexpr unsigned kSeqlockMaxRetries = 64;
+
+    /**
+     * Arm concurrent mode (idempotent). Works at any associativity:
+     * the MT probe paths do the same way search and LRU victim
+     * selection as their sequential twins, under per-set seqlocks.
      */
     void enableConcurrent();
 
@@ -239,18 +275,38 @@ class SharedUtlbCache
      */
     void absorbShard(Shard &sh);
 
-    /** lookup() under the set's stripe lock, stats into @p sh. */
+    /**
+     * lookup()'s concurrent twin: an optimistic seqlock-validated
+     * way scan (stripe-locked only to record a hit's LRU stamp),
+     * stats into @p sh. Any associativity; same probe counts, costs,
+     * and stat updates as lookup().
+     */
     CacheProbe lookupMT(mem::ProcId pid, mem::Vpn vpn, Shard &sh);
 
-    /** lookupRun() locking stripe-by-stripe, stats into @p sh. */
+    /**
+     * lookupRun()'s concurrent twin: optimistic per-set reads walk
+     * each stripe's window, then one stripe-lock acquisition stamps
+     * the window's hits. Stats into @p sh. Like lookupRun(), assoc 1
+     * only (the shared per-hit cost model).
+     */
     RunHits lookupRunMT(mem::ProcId pid, mem::Vpn start, std::size_t n,
                         mem::Pfn *pfns, LineRef *first_hit, Shard &sh);
 
-    /** hitViaRef() under the line's stripe lock, stats into @p sh. */
+    /**
+     * hitViaRef()'s concurrent twin. Honours @p ref only while the
+     * set's seqlock version still equals the ref's minted version
+     * (checked under the stripe lock), so a stale ref can never
+     * return a reclaimed way; any mismatch is a clean miss and the
+     * caller re-probes. Stats into @p sh.
+     */
     bool hitViaRefMT(LineRef &ref, mem::ProcId pid, mem::Vpn vpn,
                      CacheProbe &out, Shard &sh);
 
-    /** insert() under the set's stripe lock, stats into @p sh. */
+    /**
+     * insert()'s concurrent twin: the same refresh / free-way / LRU
+     * victim selection, under the set's stripe lock with seqlock
+     * version bumps around every tag mutation. Stats into @p sh.
+     */
     std::optional<EvictedEntry>
     insertMT(mem::ProcId pid, mem::Vpn vpn, mem::Pfn pfn,
              InsertMode mode, Shard &sh);
@@ -330,8 +386,10 @@ class SharedUtlbCache
      * Invariant auditor: every valid line indexes to the set it
      * lives in, no (pid, vpn) pair occupies two ways, no LRU stamp
      * runs ahead of the use clock, dead lines carry no recency
-     * stamp, and the removal counters' taxonomy balances against
-     * the current occupancy (lines present = lines installed minus
+     * stamp, every seqlock version is even at quiescence (an odd
+     * one means a writer died mid-update and readers would spin),
+     * and the removal counters' taxonomy balances against the
+     * current occupancy (lines present = lines installed minus
      * lines evicted/shed/invalidated/cleared since the last stats
      * reset).
      */
@@ -350,6 +408,26 @@ class SharedUtlbCache
 
     Line *findLine(mem::ProcId pid, mem::Vpn vpn, unsigned *probes);
     const Line *findLine(mem::ProcId pid, mem::Vpn vpn) const;
+
+    /**
+     * Seqlock-validated scan of @p set's ways for (pid, vpn): reads
+     * the ways with relaxed atomics, retries on a torn version, and
+     * falls back to the stripe lock after kSeqlockMaxRetries torn
+     * reads. Returns the modeled probe count; on a hit sets @p way
+     * and @p pfn, on a miss leaves @p way == assoc.
+     */
+    unsigned probeSetMT(std::size_t set, mem::ProcId pid,
+                        mem::Vpn vpn, unsigned &way, mem::Pfn &pfn,
+                        Shard &sh);
+
+    /**
+     * Record a hit's LRU stamp under the stripe lock, re-validating
+     * the way first: if the line was reclaimed or retagged since the
+     * optimistic read, the (already-returned) hit keeps its snapshot
+     * semantics and simply leaves no recency mark.
+     */
+    void stampWayMT(std::size_t set, unsigned way, mem::ProcId pid,
+                    mem::Vpn vpn, Shard &sh);
 
     /** Invalidate a line, scrubbing its recency stamp. */
     static void killLine(Line &line);
@@ -378,6 +456,9 @@ class SharedUtlbCache
     /** Stripe locks; non-null only once enableConcurrent() ran. */
     std::unique_ptr<sim::Spinlock[]> stripes;
     std::size_t numStripes = 0;
+
+    /** Per-set seqlock versions; non-null alongside stripes. */
+    std::unique_ptr<sim::SeqCount[]> seqs;
 
     /** Serializes absorbShard() callers against each other. */
     std::mutex absorbMu;

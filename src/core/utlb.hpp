@@ -54,7 +54,9 @@ struct UtlbConfig {
      * and gives this instance a per-worker stat shard. One thread
      * drives each UserUtlb (the instance itself is not shared); the
      * shared cache and driver below it are then safe to hit from all
-     * such workers at once. Requires a direct-mapped cache.
+     * such workers at once. Works at any associativity: lookups read
+     * the ways optimistically under per-set seqlock versions, writes
+     * serialize on the striped locks.
      *
      * With a single worker, results, modeled costs, and the stats
      * tree (after flushShardStats) are bit-identical to the

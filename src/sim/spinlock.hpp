@@ -1,19 +1,26 @@
 /**
  * @file
- * A minimal test-and-test-and-set spinlock.
+ * A minimal test-and-test-and-set spinlock, plus the seqlock version
+ * counter that pairs with it.
  *
- * Used for the striped per-set locks of the concurrent Shared
- * UTLB-Cache: critical sections there are a handful of loads and
- * stores on one cache line, far below the cost of parking a thread,
- * so spinning beats std::mutex. The relaxed re-test loop keeps the
- * waiting thread reading its local cache copy instead of hammering
- * the lock line with RMW traffic.
+ * The spinlock guards the striped per-set write paths of the
+ * concurrent Shared UTLB-Cache: critical sections there are a handful
+ * of loads and stores on one cache line, far below the cost of
+ * parking a thread, so spinning beats std::mutex. The relaxed re-test
+ * loop keeps the waiting thread reading its local cache copy instead
+ * of hammering the lock line with RMW traffic.
+ *
+ * SeqCount is the read-side complement: a per-set version counter in
+ * the classic seqlock protocol, letting lookups read a set's ways
+ * with no lock at all and retry when a writer was active (odd
+ * version) or intervened (changed version).
  */
 
 #ifndef UTLB_SIM_SPINLOCK_HPP
 #define UTLB_SIM_SPINLOCK_HPP
 
 #include <atomic>
+#include <cstdint>
 
 namespace utlb::sim {
 
@@ -59,6 +66,82 @@ class SpinGuard
 
   private:
     Spinlock *lk;
+};
+
+/**
+ * A seqlock version counter (Boehm, "Can seqlocks get along with
+ * programming language memory models?", MSPC 2012).
+ *
+ * Writers — who must already be serialized against each other, here
+ * by the owning structure's stripe Spinlock — bracket their stores
+ * with writeBegin()/writeEnd(), leaving the version odd for exactly
+ * the duration of the write. Readers snapshot the version, read the
+ * protected fields with relaxed atomic accesses, and retry if the
+ * version was odd or moved. The protected fields themselves must be
+ * accessed through std::atomic_ref on both sides: the seqlock makes
+ * torn snapshots *detectable*, the atomics make the racing accesses
+ * defined (and ThreadSanitizer-clean).
+ */
+class SeqCount
+{
+  public:
+    SeqCount() = default;
+
+    SeqCount(const SeqCount &) = delete;
+    SeqCount &operator=(const SeqCount &) = delete;
+
+    /**
+     * Snapshot the version before an optimistic read. An odd result
+     * means a writer is mid-update; the caller may still perform the
+     * (atomic) data reads, but readRetry() will send it around again.
+     */
+    std::uint32_t
+    readBegin() const
+    {
+        return v.load(std::memory_order_acquire);
+    }
+
+    /** True if the optimistic read that started at @p begin is torn
+     *  (writer active or intervened) and must be retried. */
+    bool
+    readRetry(std::uint32_t begin) const
+    {
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return (begin & 1u) != 0
+            || v.load(std::memory_order_relaxed) != begin;
+    }
+
+    /**
+     * The current version. Stable — and guaranteed even — only while
+     * the caller holds the lock that serializes this counter's
+     * writers; used to stamp version-carrying references minted
+     * under that lock.
+     */
+    std::uint32_t
+    value() const
+    {
+        return v.load(std::memory_order_relaxed);
+    }
+
+    /** Enter a write section. @pre the writer lock is held. */
+    void
+    writeBegin()
+    {
+        v.store(v.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+    }
+
+    /** Leave a write section. @pre the writer lock is held. */
+    void
+    writeEnd()
+    {
+        v.store(v.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint32_t> v{0};
 };
 
 } // namespace utlb::sim

@@ -103,6 +103,14 @@ struct TestTamper {
         return false;
     }
 
+    /** Leave set 0's seqlock version odd (unclosed write section). */
+    static void
+    wedgeSeqlock(core::SharedUtlbCache &c)
+    {
+        ASSERT_NE(c.numStripes, 0u) << "cache is not concurrent";
+        c.seqs[0].writeBegin();
+    }
+
     /** Warp the event clock past the earliest pending event. */
     static void
     warpClock(sim::EventQueue &q)
@@ -318,6 +326,31 @@ TEST(SharedCacheAudit, CatchesStaleStampOnDeadLine)
     // buggy invalidate path (one that clears `valid` but not
     // `lastUse`) leaves behind; the auditor must flag it.
     ASSERT_TRUE(check::TestTamper::stampDeadLine(cache));
+    check::AuditReport after;
+    cache.audit(after);
+    EXPECT_FALSE(after.ok());
+    EXPECT_GE(after.countFor("shared-cache"), 1u);
+}
+
+TEST(SharedCacheAudit, CatchesWedgedSeqlock)
+{
+    NicTimings timings;
+    SharedUtlbCache cache(CacheConfig{64, 2, true}, timings);
+    cache.enableConcurrent();
+    SharedUtlbCache::Shard sh = cache.makeShard();
+    for (Vpn v = 0; v < 20; ++v)
+        cache.insertMT(1, v, 1000 + v, utlb::core::InsertMode::Demand,
+                       sh);
+    cache.absorbShard(sh);
+
+    check::AuditReport before;
+    cache.audit(before);
+    ASSERT_TRUE(before.ok());
+
+    // An odd version at quiescence is what a writer that died (or
+    // forgot writeEnd) leaves behind: every future optimistic read
+    // of the set would retry to the lock-fallback bound forever.
+    check::TestTamper::wedgeSeqlock(cache);
     check::AuditReport after;
     cache.audit(after);
     EXPECT_FALSE(after.ok());
