@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -30,6 +29,8 @@
 #include "mem/phys_memory.hpp"
 #include "mem/pinning.hpp"
 #include "nic/sram.hpp"
+#include "sim/annotations.hpp"
+#include "sim/mutex.hpp"
 #include "sim/stats.hpp"
 
 namespace utlb::core {
@@ -168,7 +169,7 @@ class UtlbDriver
     }
 
     /** Serializes ioctls and (un)registration (see class comment). */
-    std::mutex mu;
+    sim::Mutex mu;
 
     mem::PhysMemory *hostMem;
     mem::PinFacility *pins;
@@ -176,12 +177,23 @@ class UtlbDriver
     SharedUtlbCache *nicCache;
     const HostCosts *hostCosts;
 
+    /** Set once in the constructor, immutable afterwards. */
     mem::Pfn garbagePfn;
+
+    /**
+     * The per-process maps are the mu-guarded state: every ioctl and
+     * (un)registration mutates or probes them under the lock. The
+     * quiescent-only accessors (pageTable, nicTable, isRegistered,
+     * audit) read them unlocked by documented contract and carry
+     * UTLB_NO_THREAD_SAFETY_ANALYSIS at their definitions.
+     */
     std::unordered_map<mem::ProcId, std::unique_ptr<HostPageTable>>
-        tables;
+        tables UTLB_GUARDED_BY(mu);
     std::unordered_map<mem::ProcId,
-                       std::unique_ptr<NicTranslationTable>> nicTables;
-    std::unordered_map<mem::ProcId, mem::AddressSpace *> spaces;
+                       std::unique_ptr<NicTranslationTable>>
+        nicTables UTLB_GUARDED_BY(mu);
+    std::unordered_map<mem::ProcId, mem::AddressSpace *>
+        spaces UTLB_GUARDED_BY(mu);
 
     sim::StatGroup statsGrp{"driver"};
     sim::Counter statIoctls{&statsGrp, "ioctl_calls",

@@ -24,14 +24,16 @@ void
 PinManager::enableConcurrent()
 {
     if (!mu)
-        mu = std::make_unique<std::mutex>();
+        mu = std::make_unique<sim::Mutex>();
 }
 
-std::unique_lock<std::mutex>
+sim::OptionalLockGuard
 PinManager::guard() const
 {
-    return mu ? std::unique_lock<std::mutex>(*mu)
-              : std::unique_lock<std::mutex>();
+    // Locks iff concurrent mode armed the mutex; the returned prvalue
+    // is constructed in place (guaranteed elision), so exactly one
+    // unlock happens when the caller's scope ends.
+    return sim::OptionalLockGuard(mu.get());
 }
 
 void

@@ -217,7 +217,7 @@ SharedUtlbCache::makeShard() const
 void
 SharedUtlbCache::absorbShard(Shard &sh)
 {
-    std::lock_guard<std::mutex> g(absorbMu);
+    sim::LockGuard g(absorbMu);
     statHits.absorb(sh.hits);
     statMisses.absorb(sh.misses);
     statInserts.absorb(sh.inserts);
@@ -272,6 +272,14 @@ SharedUtlbCache::probeSetMT(std::size_t set, ProcId pid, Vpn vpn,
     // spinning forever (the readers' progress guarantee). Under it
     // the scan cannot race anything.
     sim::SpinGuard g(stripeOf(set));
+    return scanWaysLocked(set, pid, vpn, way, pfn);
+}
+
+unsigned
+SharedUtlbCache::scanWaysLocked(std::size_t set, ProcId pid, Vpn vpn,
+                                unsigned &way, Pfn &pfn)
+{
+    Line *base = &lines[set * config.assoc];
     unsigned probes = config.assoc;
     way = config.assoc;
     for (unsigned w = 0; w < config.assoc; ++w) {
@@ -291,6 +299,13 @@ SharedUtlbCache::stampWayMT(std::size_t set, unsigned way, ProcId pid,
                             Vpn vpn, Shard &sh)
 {
     sim::SpinGuard g(stripeOf(set));
+    stampLineLocked(set, way, pid, vpn, sh);
+}
+
+void
+SharedUtlbCache::stampLineLocked(std::size_t set, unsigned way,
+                                 ProcId pid, Vpn vpn, Shard &sh)
+{
     Line &line = lines[set * config.assoc + way];
     // If a writer reclaimed the way since the optimistic read, the
     // (already-consistent) hit simply leaves no recency mark — a

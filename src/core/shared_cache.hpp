@@ -27,7 +27,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,6 +34,8 @@
 #include "mem/page.hpp"
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
+#include "sim/annotations.hpp"
+#include "sim/mutex.hpp"
 #include "sim/spinlock.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -270,10 +271,11 @@ class SharedUtlbCache
 
     /**
      * Fold a worker's stat deltas into the global stats and zero
-     * them. Serialized internally; callable while other workers are
-     * still probing (their deltas are simply not included yet).
+     * them. Serialized internally on absorbMu; callable while other
+     * workers are still probing (their deltas are simply not
+     * included yet). Callers must not already hold absorbMu.
      */
-    void absorbShard(Shard &sh);
+    void absorbShard(Shard &sh) UTLB_EXCLUDES(absorbMu);
 
     /**
      * lookup()'s concurrent twin: an optimistic seqlock-validated
@@ -421,6 +423,16 @@ class SharedUtlbCache
                         Shard &sh);
 
     /**
+     * The lock-based way scan probeSetMT falls back to when writers
+     * keep tearing its optimistic reads. The capability requirement
+     * makes "caller holds this set's stripe lock" part of the
+     * checked signature.
+     */
+    unsigned scanWaysLocked(std::size_t set, mem::ProcId pid,
+                            mem::Vpn vpn, unsigned &way, mem::Pfn &pfn)
+        UTLB_REQUIRES(stripeOf(set));
+
+    /**
      * Record a hit's LRU stamp under the stripe lock, re-validating
      * the way first: if the line was reclaimed or retagged since the
      * optimistic read, the (already-returned) hit keeps its snapshot
@@ -428,6 +440,11 @@ class SharedUtlbCache
      */
     void stampWayMT(std::size_t set, unsigned way, mem::ProcId pid,
                     mem::Vpn vpn, Shard &sh);
+
+    /** stampWayMT's locked body (re-validate, then stamp). */
+    void stampLineLocked(std::size_t set, unsigned way,
+                         mem::ProcId pid, mem::Vpn vpn, Shard &sh)
+        UTLB_REQUIRES(stripeOf(set));
 
     /** Invalidate a line, scrubbing its recency stamp. */
     static void killLine(Line &line);
@@ -461,7 +478,7 @@ class SharedUtlbCache
     std::unique_ptr<sim::SeqCount[]> seqs;
 
     /** Serializes absorbShard() callers against each other. */
-    std::mutex absorbMu;
+    sim::Mutex absorbMu;
 
     /** Valid entries at the last resetStats(), for the audit. */
     std::size_t statsBaseValid = 0;

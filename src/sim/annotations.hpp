@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Clang thread-safety-analysis capability annotations.
+ *
+ * The concurrent Shared UTLB-Cache (per-set seqlocks under striped
+ * spinlocks), the driver's ioctl mutex, and the pin manager's opt-in
+ * mutex each follow a locking discipline that used to live only in
+ * comments. These macros turn that discipline into compiler-checked
+ * attributes: under clang with `-Wthread-safety` (the
+ * `UTLB_THREAD_SAFETY=ON` CMake option) every guarded field access
+ * and every capability-requiring call is verified statically; under
+ * any other compiler they expand to nothing and the code is exactly
+ * what it was.
+ *
+ * Naming follows the "modern" capability spelling of the clang
+ * documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+ *
+ *  - UTLB_CAPABILITY / UTLB_SCOPED_CAPABILITY mark lock classes and
+ *    their RAII holders (sim::Spinlock + sim::SpinGuard, sim::Mutex +
+ *    sim::LockGuard);
+ *  - UTLB_GUARDED_BY(mu) on a field requires mu to be held for every
+ *    access;
+ *  - UTLB_REQUIRES(mu) on a function makes "caller already holds mu"
+ *    part of its checked signature;
+ *  - UTLB_ACQUIRE / UTLB_RELEASE / UTLB_TRY_ACQUIRE annotate the
+ *    lock primitives themselves;
+ *  - UTLB_NO_THREAD_SAFETY_ANALYSIS opts a function out — used only
+ *    for the documented quiescent-only accessors (stats, audit,
+ *    pageTable, ...) whose safety argument is "no worker is running",
+ *    which no static analysis can see. Every use carries a comment
+ *    saying so.
+ *
+ * What the analysis cannot express (seqlock read-section purity,
+ * shard-only stat mutation in `*MT` methods, the memory-order
+ * allowlist, "every lock() is scoped") is enforced by the companion
+ * lint, scripts/concurrency_lint.py — see docs/checking.md.
+ */
+
+#ifndef UTLB_SIM_ANNOTATIONS_HPP
+#define UTLB_SIM_ANNOTATIONS_HPP
+
+#if defined(__clang__) && !defined(UTLB_NO_THREAD_SAFETY_ATTRIBUTES)
+#define UTLB_TSA_ATTR(x) __attribute__((x))
+#else
+#define UTLB_TSA_ATTR(x) // no-op: GCC and MSVC have no analysis
+#endif
+
+/** Marks a class as a lockable capability (a mutex-like thing). */
+#define UTLB_CAPABILITY(x) UTLB_TSA_ATTR(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define UTLB_SCOPED_CAPABILITY UTLB_TSA_ATTR(scoped_lockable)
+
+/** Field may only be accessed while holding capability @p x. */
+#define UTLB_GUARDED_BY(x) UTLB_TSA_ATTR(guarded_by(x))
+
+/** Pointer field whose *pointee* is guarded by capability @p x. */
+#define UTLB_PT_GUARDED_BY(x) UTLB_TSA_ATTR(pt_guarded_by(x))
+
+/** Caller must hold the listed capabilities (exclusively). */
+#define UTLB_REQUIRES(...) \
+    UTLB_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the listed capabilities (at least shared). */
+#define UTLB_REQUIRES_SHARED(...) \
+    UTLB_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability (and does not release it). */
+#define UTLB_ACQUIRE(...) UTLB_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define UTLB_RELEASE(...) UTLB_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p result. */
+#define UTLB_TRY_ACQUIRE(...) \
+    UTLB_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (anti-deadlock). */
+#define UTLB_EXCLUDES(...) UTLB_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Runtime-checked claim that the capability is already held. */
+#define UTLB_ASSERT_CAPABILITY(x) UTLB_TSA_ATTR(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define UTLB_RETURN_CAPABILITY(x) UTLB_TSA_ATTR(lock_returned(x))
+
+/**
+ * Opt a function out of the analysis. Reserved for quiescent-only
+ * accessors and conditional-locking helpers whose correctness
+ * argument is temporal ("no worker is in flight"), not lexical;
+ * every use must say which in a comment.
+ */
+#define UTLB_NO_THREAD_SAFETY_ANALYSIS \
+    UTLB_TSA_ATTR(no_thread_safety_analysis)
+
+#endif // UTLB_SIM_ANNOTATIONS_HPP

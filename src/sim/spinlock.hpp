@@ -22,9 +22,11 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sim/annotations.hpp"
+
 namespace utlb::sim {
 
-class Spinlock
+class UTLB_CAPABILITY("spinlock") Spinlock
 {
   public:
     Spinlock() = default;
@@ -33,7 +35,7 @@ class Spinlock
     Spinlock &operator=(const Spinlock &) = delete;
 
     void
-    lock()
+    lock() UTLB_ACQUIRE()
     {
         while (flag.test_and_set(std::memory_order_acquire)) {
             while (flag.test(std::memory_order_relaxed)) {
@@ -45,21 +47,39 @@ class Spinlock
     }
 
     void
-    unlock()
+    unlock() UTLB_RELEASE()
     {
         flag.clear(std::memory_order_release);
     }
 
+    /**
+     * One lock attempt, no spinning: true iff the lock was taken.
+     * [[nodiscard]] so a discarded result — which would leave the
+     * caller unsure whether it holds the lock — is a compile error;
+     * the concurrency lint's scoped-guard rule relies on that.
+     */
+    [[nodiscard]] bool
+    try_lock() UTLB_TRY_ACQUIRE(true)
+    {
+        return !flag.test_and_set(std::memory_order_acquire);
+    }
+
   private:
-    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+    // Default construction leaves the flag clear since C++20
+    // (ATOMIC_FLAG_INIT is deprecated and gone in C++23).
+    std::atomic_flag flag;
 };
 
 /** Scoped Spinlock holder. */
-class SpinGuard
+class UTLB_SCOPED_CAPABILITY SpinGuard
 {
   public:
-    explicit SpinGuard(Spinlock &l) : lk(&l) { lk->lock(); }
-    ~SpinGuard() { lk->unlock(); }
+    explicit SpinGuard(Spinlock &l) UTLB_ACQUIRE(l) : lk(&l)
+    {
+        lk->lock();
+    }
+
+    ~SpinGuard() UTLB_RELEASE() { lk->unlock(); }
 
     SpinGuard(const SpinGuard &) = delete;
     SpinGuard &operator=(const SpinGuard &) = delete;
@@ -81,6 +101,12 @@ class SpinGuard
  * accessed through std::atomic_ref on both sides: the seqlock makes
  * torn snapshots *detectable*, the atomics make the racing accesses
  * defined (and ThreadSanitizer-clean).
+ *
+ * The read-side purity rule — between readBegin() and readRetry() a
+ * section performs relaxed atomic loads only: no stores, no member
+ * writes, no stronger memory orders — cannot be expressed with
+ * capability annotations; scripts/concurrency_lint.py enforces it
+ * statically (rule `seqlock-read-section`).
  */
 class SeqCount
 {

@@ -1,0 +1,21 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// Atomic operations relying on the seq_cst default. The order must
+// be spelled: the default is a silent full fence, and an unstated
+// order hides whether the author thought about the protocol at all.
+//
+// utlb-lint-expect: memory-order
+
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t
+drain(std::atomic<std::uint64_t> &pending,
+      std::atomic<bool> &active)
+{
+    // BAD: defaulted orders on load/store/fetch_sub.
+    std::uint64_t n = pending.load();
+    pending.fetch_sub(n);
+    active.store(false);
+    return n;
+}

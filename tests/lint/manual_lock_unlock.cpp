@@ -1,0 +1,39 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// Manual lock()/unlock() pairs and a bare std::mutex. An early
+// return or exception between the calls leaks the lock, the
+// acquisition is invisible to the thread-safety analysis, and
+// std::mutex (unlike sim::Mutex) carries no capability annotations.
+//
+// utlb-lint-expect: scoped-guard
+
+#include <mutex>
+
+// BAD: bare std::mutex instead of the annotated sim::Mutex.
+std::mutex gTableMu;
+
+int gTable[64];
+
+int
+readSlot(int i)
+{
+    // BAD: naked lock()/unlock() instead of a scoped guard.
+    gTableMu.lock();
+    if (i < 0) {
+        gTableMu.unlock();
+        return -1;
+    }
+    int v = gTable[i];
+    gTableMu.unlock();
+    return v;
+}
+
+void
+pokeSlot(int i, int v)
+{
+    // BAD: try_lock() result discarded — the caller does not know
+    // whether it holds the lock (and never releases it if it does).
+    gTableMu.try_lock();
+    gTable[i] = v;
+    gTableMu.unlock();
+}

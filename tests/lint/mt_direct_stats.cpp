@@ -1,0 +1,43 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// A *MT method bumps the shared stat counters directly instead of
+// accumulating into the caller's Shard. Under contention this is a
+// data race on the counter (sim::Counter is not atomic) and it
+// serializes the hot path the sharding exists to keep private.
+//
+// utlb-lint-expect: mt-shard-discipline
+
+#include <cstdint>
+
+struct Shard {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+struct Counter {
+    std::uint64_t v = 0;
+    Counter &operator++() { ++v; return *this; }
+};
+
+class FakeCache
+{
+  public:
+    bool lookupMT(std::uint64_t vpn, Shard &sh);
+
+  private:
+    Counter statHits;
+    Counter statMisses;
+};
+
+bool
+FakeCache::lookupMT(std::uint64_t vpn, Shard &sh)
+{
+    if (vpn & 1) {
+        // BAD: shared counter mutated on the concurrent hot path.
+        ++statHits;
+        return true;
+    }
+    ++sh.misses; // fine: the caller's shard
+    ++statMisses; // BAD again
+    return false;
+}

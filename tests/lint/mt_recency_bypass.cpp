@@ -1,0 +1,36 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// A *MT method stamps recency straight from the shared use clock:
+// `++useClock` races with every other worker, and writing lastUse
+// without a nextStamp(sh) block defeats the per-shard stamp batching
+// (and the stripe-lock discipline around it).
+//
+// utlb-lint-expect: mt-shard-discipline
+
+#include <cstdint>
+
+struct Shard {
+    std::uint64_t stampNext = 0;
+    std::uint64_t stampEnd = 0;
+};
+
+struct Line {
+    std::uint64_t lastUse = 0;
+};
+
+class FakeCache
+{
+  public:
+    void touchMT(Line &line, Shard &sh);
+
+  private:
+    std::uint64_t useClock = 0;
+};
+
+void
+FakeCache::touchMT(Line &line, Shard &sh)
+{
+    (void)sh;
+    // BAD: unsynchronized clock bump + raw recency write.
+    line.lastUse = ++useClock;
+}

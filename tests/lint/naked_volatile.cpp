@@ -1,0 +1,16 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// `volatile` used as a thread-communication flag. volatile is not a
+// synchronization primitive: it neither orders surrounding accesses
+// nor makes the access atomic.
+//
+// utlb-lint-expect: memory-order
+
+// BAD: a volatile stop flag shared between threads.
+volatile bool gStopRequested = false;
+
+void
+requestStop()
+{
+    gStopRequested = true;
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// memory_order_seq_cst in src/-style code: nothing in the UTLB
+// protocols needs a total order, and a seq_cst RMW on the hot path
+// is a full fence on every lookup.
+//
+// utlb-lint-expect: memory-order
+
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t
+nextTicket(std::atomic<std::uint64_t> &clock)
+{
+    // BAD: seq_cst where relaxed is the protocol's contract.
+    return clock.fetch_add(1, std::memory_order_seq_cst);
+}

@@ -1,0 +1,27 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// An acquire load inside a seqlock read section: the version counter
+// already provides the ordering, so the stronger order is at best a
+// pointless fence and at worst papers over a protocol misread.
+//
+// utlb-lint-expect: seqlock-read-section
+
+#include <atomic>
+#include <cstdint>
+
+struct SeqCount {
+    std::uint32_t readBegin() const;
+    bool readRetry(std::uint32_t) const;
+};
+
+std::uint64_t
+snapshot(SeqCount &seq, std::atomic<std::uint64_t> &slot)
+{
+    for (;;) {
+        std::uint32_t v = seq.readBegin();
+        // BAD: non-relaxed order inside the read section.
+        std::uint64_t pfn = slot.load(std::memory_order_acquire);
+        if (!seq.readRetry(v))
+            return pfn;
+    }
+}

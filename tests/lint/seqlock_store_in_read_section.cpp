@@ -1,0 +1,43 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// A reader promotes itself to a writer inside the optimistic seqlock
+// read section: it stores to the line it is probing without taking
+// the stripe lock or bumping the version, so a concurrent reader can
+// observe a torn entry that readRetry() never detects.
+//
+// utlb-lint-expect: seqlock-read-section
+
+#include <cstdint>
+
+struct Line {
+    bool valid;
+    unsigned pid;
+    std::uint64_t vpn;
+    std::uint64_t pfn;
+};
+
+struct SeqCount {
+    std::uint32_t readBegin() const;
+    bool readRetry(std::uint32_t) const;
+};
+
+std::uint64_t loadRelaxed(const std::uint64_t &);
+void storeRelaxed(std::uint64_t &, std::uint64_t);
+
+std::uint64_t
+probeAndPromote(SeqCount &seq, Line &line, std::uint64_t vpn)
+{
+    for (;;) {
+        std::uint32_t v = seq.readBegin();
+        std::uint64_t pfn = 0;
+        if (loadRelaxed(line.vpn) == vpn) {
+            pfn = loadRelaxed(line.pfn);
+            // BAD: a store inside the read section.
+            storeRelaxed(line.vpn, vpn);
+            // BAD: a plain member write inside the read section.
+            line.valid = true;
+        }
+        if (!seq.readRetry(v))
+            return pfn;
+    }
+}

@@ -1,0 +1,37 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// Plain (non-atomic) reads of the seqlock-paired fields inside the
+// read section. The fields race with locked writers by design; every
+// read must go through loadRelaxed()/atomic_ref or the program has
+// undefined behavior even though readRetry() would catch the tear.
+//
+// utlb-lint-expect: seqlock-read-section
+
+#include <cstdint>
+
+struct Line {
+    bool valid;
+    unsigned pid;
+    std::uint64_t vpn;
+    std::uint64_t pfn;
+};
+
+struct SeqCount {
+    std::uint32_t readBegin() const;
+    bool readRetry(std::uint32_t) const;
+};
+
+std::uint64_t
+rawProbe(SeqCount &seq, const Line &line, unsigned pid,
+         std::uint64_t vpn)
+{
+    for (;;) {
+        std::uint32_t v = seq.readBegin();
+        std::uint64_t out = 0;
+        // BAD: naked field reads, racing with locked writers.
+        if (line.valid && line.pid == pid && line.vpn == vpn)
+            out = line.pfn;
+        if (!seq.readRetry(v))
+            return out;
+    }
+}

@@ -1,0 +1,41 @@
+// Positive control for scripts/negative_compile.sh: correct use of
+// the annotated primitives MUST compile clean both with and without
+// -Werror=thread-safety-analysis. If this file fails under the
+// analysis flags, the toolchain (not the cases) is broken and the
+// suite must not report the negative cases as "correctly rejected".
+
+#include "sim/annotations.hpp"
+#include "sim/mutex.hpp"
+#include "sim/spinlock.hpp"
+
+class Registry
+{
+  public:
+    void add(int v)
+    {
+        utlb::sim::LockGuard g(mu);
+        table[0] = v;
+    }
+
+    int peek() UTLB_REQUIRES(stripe) { return table2[0]; }
+
+    int read()
+    {
+        utlb::sim::SpinGuard g(stripe);
+        return peek();
+    }
+
+  private:
+    utlb::sim::Mutex mu;
+    int table[4] UTLB_GUARDED_BY(mu) = {};
+    utlb::sim::Spinlock stripe;
+    int table2[4] UTLB_GUARDED_BY(stripe) = {};
+};
+
+int
+main()
+{
+    Registry r;
+    r.add(1);
+    return r.read();
+}

@@ -1,0 +1,33 @@
+// Negative-compile case: MUST be rejected by clang's thread-safety
+// analysis (-Werror=thread-safety-analysis) and MUST compile clean
+// without it. Driven by scripts/negative_compile.sh; never linked.
+//
+// The defect: calling a UTLB_REQUIRES method without holding the
+// required capability (the same shape as calling
+// SharedUtlbCache::scanWaysLocked without the stripe lock).
+
+#include "sim/annotations.hpp"
+#include "sim/spinlock.hpp"
+
+class Table
+{
+  public:
+    int get(int i) UTLB_REQUIRES(mu) { return slots[i]; }
+
+    int getRacy(int i)
+    {
+        // BAD: get() requires mu, and nothing here acquires it.
+        return get(i);
+    }
+
+  private:
+    utlb::sim::Spinlock mu;
+    int slots[4] UTLB_GUARDED_BY(mu) = {};
+};
+
+int
+main()
+{
+    Table t;
+    return t.getRacy(0);
+}

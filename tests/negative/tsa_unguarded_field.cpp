@@ -1,0 +1,31 @@
+// Negative-compile case: MUST be rejected by clang's thread-safety
+// analysis (-Werror=thread-safety-analysis) and MUST compile clean
+// without it. Driven by scripts/negative_compile.sh; never linked.
+//
+// The defect: writing a UTLB_GUARDED_BY field without holding the
+// declared capability.
+
+#include "sim/annotations.hpp"
+#include "sim/mutex.hpp"
+
+class Registry
+{
+  public:
+    void add(int v)
+    {
+        // BAD: table is guarded by mu, and mu is not held here.
+        table[0] = v;
+    }
+
+  private:
+    utlb::sim::Mutex mu;
+    int table[4] UTLB_GUARDED_BY(mu) = {};
+};
+
+int
+main()
+{
+    Registry r;
+    r.add(1);
+    return 0;
+}

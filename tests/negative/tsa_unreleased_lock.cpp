@@ -1,0 +1,30 @@
+// Negative-compile case: MUST be rejected by clang's thread-safety
+// analysis (-Werror=thread-safety-analysis) and MUST compile clean
+// without it. Driven by scripts/negative_compile.sh; never linked.
+//
+// The defect: a naked lock() with an early return that leaks the
+// capability — exactly the bug class the scoped-guard discipline
+// (sim::LockGuard / sim::SpinGuard) makes unrepresentable.
+
+#include "sim/annotations.hpp"
+#include "sim/mutex.hpp"
+
+utlb::sim::Mutex gMu;
+int gCounter UTLB_GUARDED_BY(gMu) = 0;
+
+int
+bumpUnlessNegative(int v)
+{
+    gMu.lock();
+    if (v < 0)
+        return -1; // BAD: gMu is still held on this path.
+    gCounter += v;
+    gMu.unlock();
+    return gCounter; // BAD: read after release, also flagged.
+}
+
+int
+main()
+{
+    return bumpUnlessNegative(1);
+}
