@@ -107,6 +107,18 @@ class JsonReporter
         points.push_back(std::move(p));
     }
 
+    /** add() overload for metric lists assembled at run time. */
+    void
+    add(std::initializer_list<std::pair<const char *, std::string>>
+            labels,
+        std::vector<std::pair<const char *, double>> metrics)
+    {
+        Point p;
+        p.labels.assign(labels.begin(), labels.end());
+        p.metrics = std::move(metrics);
+        points.push_back(std::move(p));
+    }
+
     /**
      * Record how many worker threads the harness actually drove.
      * host_info reports this alongside the machine's core count so a

@@ -249,8 +249,12 @@ main()
     // on disjoint ranges through the concurrent-mode stack.
     const bench::MtScenario &mt = bench::kMtWarm;
     json.setWorkerThreads(4);
+    unsigned cores = std::thread::hardware_concurrency();
+    if (cores == 0)
+        cores = 1;
     double base = 0.0;
     double widest = 0.0;
+    bool widestOversub = false;
     for (unsigned t = 1; t <= 4; t *= 2) {
         bench::MtStack stack(mt, t, true);
         bench::MtCell cell = bench::runMtCell(mt, stack, t, ms);
@@ -258,6 +262,7 @@ main()
         if (t == 1)
             base = pps;
         widest = pps;
+        widestOversub = t > cores;
         std::string mode = "threads" + std::to_string(t);
         table.addRow({mt.name, mode,
                       sim::TextTable::num(pps, 0),
@@ -269,15 +274,29 @@ main()
                   {"pages_per_sec", pps},
                   {"wall_ns", cell.wallNs},
                   {"ns_per_page", cell.nsPerPage()},
-                  {"modeled_us_per_page", cell.modeledUsPerPage()}});
+                  {"modeled_us_per_page", cell.modeledUsPerPage()},
+                  {"host_cores", static_cast<double>(cores)},
+                  {"oversubscribed", t > cores ? 1.0 : 0.0}});
     }
     // Speedup of the widest cell over 1 thread, recorded like the
-    // per-scenario speedup rows.
+    // per-scenario speedup rows. Meaningless when the widest cell
+    // time-sliced more workers than the host has cores: flag it and
+    // skip the figure rather than report scheduler arithmetic.
     double mtSpeedup = base > 0 ? widest / base : 0.0;
     table.addRow({mt.name, "speedup",
-                  sim::TextTable::num(mtSpeedup, 2) + "x", "", ""});
-    json.add({{"scenario", mt.name}, {"mode", "speedup"}},
-             {{"speedup", mtSpeedup}});
+                  widestOversub
+                      ? std::string("n/a")
+                      : sim::TextTable::num(mtSpeedup, 2) + "x",
+                  "", ""});
+    if (widestOversub)
+        json.add({{"scenario", mt.name}, {"mode", "speedup"}},
+                 {{"host_cores", static_cast<double>(cores)},
+                  {"oversubscribed", 1.0}});
+    else
+        json.add({{"scenario", mt.name}, {"mode", "speedup"}},
+                 {{"speedup", mtSpeedup},
+                  {"host_cores", static_cast<double>(cores)},
+                  {"oversubscribed", 0.0}});
 
     table.print(std::cout);
     return 0;

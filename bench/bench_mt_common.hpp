@@ -26,8 +26,10 @@
 #ifndef UTLB_BENCH_MT_COMMON_HPP
 #define UTLB_BENCH_MT_COMMON_HPP
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <sstream>
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "core/driver.hpp"
+#include "core/fill_pipeline.hpp"
 #include "core/utlb.hpp"
 #include "mem/address_space.hpp"
 #include "mem/phys_memory.hpp"
@@ -43,6 +46,7 @@
 #include "nic/sram.hpp"
 #include "nic/timing.hpp"
 #include "sim/log.hpp"
+#include "sim/random.hpp"
 #include "sim/stats.hpp"
 
 namespace bench {
@@ -60,6 +64,8 @@ struct MtScenario {
     bool sharedRange;            //!< all workers sweep the same vpns
     unsigned assoc = 1;          //!< cache ways (1 = direct-mapped)
     std::size_t memLimitPages = 0;  //!< per-process pin cap (0 = off)
+    bool asyncFill = false;      //!< attach the fill pipeline
+    double zipfAlpha = 0.0;      //!< >0: Zipf(alpha) window choice
 };
 
 /** Warm, all-hits scaling cell (the acceptance scenario). */
@@ -87,6 +93,26 @@ inline constexpr MtScenario kMtPinChurn{"mt_pin_churn", 512, 64, 8192,
 inline constexpr MtScenario kMtWarmAssoc4{"mt_warm_assoc4", 512, 64,
                                           8192, 1, false, 4};
 
+/**
+ * Miss-overlap cell: each worker streams 8x the cache's capacity, so
+ * every window is a stretch of capacity misses. With asyncFill the
+ * misses post to the fill pipeline and the worker keeps serving the
+ * window's hits while the fill thread DMAs — the outstanding-DMA
+ * overlap the tentpole models. Run with asyncFill both on and off to
+ * measure the overlap win.
+ */
+inline constexpr MtScenario kMtMissOverlap{"mt_miss_overlap", 8192, 64,
+                                           1024, 8, false, 1, 0, true};
+
+/**
+ * Miss-heavy Zipf mix: workers pick windows Zipf(1.1)-distributed
+ * over a working set larger than the cache, mixing hot always-hit
+ * windows with a long cold-miss tail — hits keep flowing while the
+ * tail's fills are in flight.
+ */
+inline constexpr MtScenario kMtZipfMix{"mt_zipf_mix", 4096, 64, 1024,
+                                       8, false, 1, 0, true, 1.1};
+
 /** One NIC, N worker processes, each with a concurrent UserUtlb. */
 struct MtStack {
     mem::PhysMemory phys;
@@ -99,7 +125,15 @@ struct MtStack {
     std::vector<std::unique_ptr<mem::AddressSpace>> spaces;
     std::vector<std::unique_ptr<core::UserUtlb>> views;
 
-    MtStack(const MtScenario &sc, unsigned nworkers, bool concurrent)
+    /**
+     * The NIC's fill thread (asyncFill scenarios only). Declared
+     * after views so it is destroyed — thread stopped and joined —
+     * first.
+     */
+    std::unique_ptr<core::FillPipeline> fill;
+
+    MtStack(const MtScenario &sc, unsigned nworkers, bool concurrent,
+            bool async = false)
         : phys(sc.perWorkerPages * nworkers + 2048),
           sram(4u << 20),
           costs(core::HostProfile::PentiumIINT),
@@ -122,6 +156,30 @@ struct MtStack {
             views.push_back(std::make_unique<core::UserUtlb>(
                 driver, cache, timings, pid, ucfg));
         }
+        if (async) {
+            if (!concurrent)
+                utlb::sim::fatal(
+                    "%s: asyncFill requires concurrent mode", sc.name);
+            fill = std::make_unique<core::FillPipeline>(driver, cache,
+                                                        timings);
+            for (auto &v : views)
+                v->attachFillPipeline(fill.get());
+        }
+    }
+
+    /**
+     * Quiesce the fill pipeline (joins the fill thread and folds its
+     * stat shard); detaches it from every view so later windows run
+     * synchronously. No-op without asyncFill.
+     */
+    void
+    stopFill()
+    {
+        if (!fill)
+            return;
+        fill->stop();
+        for (auto &v : views)
+            v->attachFillPipeline(nullptr);
     }
 
     /** The vpn a worker's buffer starts at. */
@@ -174,6 +232,41 @@ mtStatsDump(MtStack &stack)
 }
 
 /**
+ * Zipf(alpha) sampler over {0, .., n-1} by inverse CDF, drawing from
+ * the project's deterministic Rng: the same (n, alpha, seed) always
+ * yields the same window sequence, so paired runs (async consistency,
+ * repeated bench cells) replay identical workloads.
+ */
+class ZipfPicker
+{
+  public:
+    ZipfPicker(std::size_t n, double alpha, std::uint64_t seed)
+        : rng(seed)
+    {
+        cdf.reserve(n);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+            cdf.push_back(sum);
+        }
+        for (double &c : cdf)
+            c /= sum;
+    }
+
+    std::size_t
+    next()
+    {
+        double u = rng.uniform();
+        return static_cast<std::size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    }
+
+  private:
+    std::vector<double> cdf;
+    utlb::sim::Rng rng;
+};
+
+/**
  * Threads=1 golden equivalence: a concurrent-mode stack driven by
  * one thread must be indistinguishable — results, modeled costs,
  * stats tree — from the sequential path over the same workload.
@@ -207,6 +300,52 @@ mtGoldenDivergence(const MtScenario &sc)
     if (mtStatsDump(seq) != mtStatsDump(mt))
         return std::string(sc.name)
             + ": concurrent-mode stats tree diverged from sequential";
+    return "";
+}
+
+/**
+ * Async-fill consistency: the fill pipeline must change *when* a miss
+ * is serviced, never *what* a translation returns. Replays the same
+ * (possibly Zipf-shuffled) window sequence through a synchronous and
+ * an async-fill concurrent stack and compares every call's results.
+ * Stats and modeled-cost interleavings legitimately differ (the fill
+ * thread owns its own shard and batches fills; a window's misses may
+ * resolve each other), so — unlike mtGoldenDivergence — only ok and
+ * the translated addresses are compared. Returns a description of the
+ * first divergence, or "".
+ */
+inline std::string
+mtAsyncConsistency(const MtScenario &sc)
+{
+    MtStack sync(sc, 1, true, false);
+    MtStack async(sc, 1, true, true);
+    std::size_t nbytes = sc.windowPages * mem::kPageSize;
+    std::size_t nwindows = sc.perWorkerPages / sc.windowPages;
+
+    std::vector<std::size_t> order;
+    order.reserve(2 * nwindows);
+    for (std::size_t w = 0; w < 2 * nwindows; ++w)
+        order.push_back(w % nwindows);
+    if (sc.zipfAlpha > 0) {
+        // Keep the first full pass linear (pins every page), then
+        // replay the Zipf mix both stacks will see.
+        ZipfPicker zipf(nwindows, sc.zipfAlpha, 0x5eedull);
+        for (std::size_t w = nwindows; w < 2 * nwindows; ++w)
+            order[w] = zipf.next();
+    }
+
+    for (std::size_t w = 0; w < order.size(); ++w) {
+        mem::VirtAddr va =
+            (order[w] * sc.windowPages) * mem::kPageSize;
+        core::Translation a = sync.views[0]->translateRange(va, nbytes);
+        core::Translation b =
+            async.views[0]->translateRange(va, nbytes);
+        if (a.ok != b.ok || a.pageAddrs != b.pageAddrs)
+            return std::string(sc.name)
+                + ": async fill changed translation results at window "
+                + std::to_string(w);
+    }
+    async.stopFill();
     return "";
 }
 
@@ -251,14 +390,21 @@ runMtCell(const MtScenario &sc, MtStack &stack, unsigned nworkers,
             std::uint64_t pages = 0;
             utlb::sim::Tick modeled = 0;
             std::size_t window = 0;
+            // Zipf scenarios mix hot and cold windows; per-worker
+            // seeds keep the sequence deterministic per (worker, run).
+            ZipfPicker zipf(nwindows, sc.zipfAlpha > 0 ? sc.zipfAlpha
+                                                       : 1.0,
+                            0x5eedull + w);
             while (!stop.load(std::memory_order_relaxed)) {
+                if (sc.zipfAlpha > 0)
+                    window = zipf.next();
                 mem::VirtAddr va =
                     (base + window * sc.windowPages)
                     * mem::kPageSize;
                 core::Translation t = u.translateRange(va, nbytes);
                 modeled += t.hostCost + t.nicCost;
                 pages += t.pageAddrs.size();
-                if (++window == nwindows)
+                if (sc.zipfAlpha <= 0 && ++window == nwindows)
                     window = 0;
             }
             totalPages.fetch_add(pages, std::memory_order_relaxed);

@@ -103,6 +103,9 @@ main()
     // in bench_mt.
     const unsigned mtThreads = 2;
     const double ms = mtBudgetMs();
+    unsigned cores = std::thread::hardware_concurrency();
+    if (cores == 0)
+        cores = 1;
     json.setWorkerThreads(mtThreads);
     for (const MtScenario &sc : kMtAssoc) {
         std::string divergence = mtGoldenDivergence(sc);
@@ -118,7 +121,10 @@ main()
                   {"threads", static_cast<double>(mtThreads)},
                   {"pages_per_sec", cell.pagesPerSec()},
                   {"ns_per_page", cell.nsPerPage()},
-                  {"modeled_us_per_page", cell.modeledUsPerPage()}});
+                  {"modeled_us_per_page", cell.modeledUsPerPage()},
+                  {"host_cores", static_cast<double>(cores)},
+                  {"oversubscribed",
+                   mtThreads > cores ? 1.0 : 0.0}});
     }
 
     std::cout << "\nPaper shape checks: direct-mapped with offsetting "

@@ -28,17 +28,20 @@ annotations cannot express:
                          the protocol needs it, and it hides fence
                          mistakes), `volatile` is banned (it is not
                          a synchronization primitive), and every
-                         atomic operation spells its memory order
-                         explicitly (the seq_cst default is a silent
-                         pessimization).
+                         atomic operation — including wait() and the
+                         compare_exchange pair — spells its memory
+                         order explicitly (the seq_cst default is a
+                         silent pessimization).
 
   scoped-guard           Every lock acquisition is scoped: no naked
                          .lock()/.unlock() outside the guard
                          implementations (sim/spinlock.hpp,
-                         sim/mutex.hpp), no bare std::mutex in src/
-                         (sim::Mutex keeps the acquisition visible
-                         to the thread-safety analysis), and no
-                         discarded try_lock().
+                         sim/mutex.hpp), no bare std::mutex or
+                         std::condition_variable in src/ (sim::Mutex
+                         / sim::CondVar keep the acquisition and the
+                         sleep's lock handoff visible to the
+                         thread-safety analysis), and no discarded
+                         try_lock().
 
 The analysis is a comment/string-aware token scan, not a full
 parse: rules are written so the real tree is clean and every
@@ -281,10 +284,12 @@ LASTUSE_WRITE_RE = re.compile(r"(?:\.|->)lastUse\s*=(?![=])([^;]*)")
 
 ATOMIC_OP_RE = re.compile(
     r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or"
-    r"|fetch_and|fetch_xor|test_and_set)\s*(\()")
+    r"|fetch_and|fetch_xor|test_and_set|wait"
+    r"|compare_exchange_weak|compare_exchange_strong)\s*(\()")
 NAKED_LOCK_RE = re.compile(r"(?:\.|->)\s*(lock|unlock)\s*\(\s*\)")
 STD_MUTEX_RE = re.compile(
     r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b")
+STD_CONDVAR_RE = re.compile(r"\bstd::condition_variable(?:_any)?\b")
 DISCARDED_TRYLOCK_RE = re.compile(
     r"^\s*[\w\.\->\(\)\[\]]*(?:\.|->)try_lock\s*\(\s*\)\s*;\s*$")
 
@@ -400,6 +405,12 @@ def lint_file(path, rel, text, force_src=False):
                    "bare std::mutex in src/; use sim::Mutex so "
                    "acquisitions are visible to the thread-safety "
                    "analysis")
+        if in_src and not is_guard_impl \
+                and STD_CONDVAR_RE.search(text_line):
+            report(lineno, "scoped-guard",
+                   "bare std::condition_variable in src/; use "
+                   "sim::CondVar::waitOn so the sleep is tied to a "
+                   "UniqueLock the thread-safety analysis can see")
         if DISCARDED_TRYLOCK_RE.match(text_line):
             report(lineno, "scoped-guard",
                    "try_lock() result discarded; the caller cannot "

@@ -87,15 +87,27 @@ UtlbDriver::pageTable(ProcId pid) UTLB_NO_THREAD_SAFETY_ANALYSIS
 IoctlResult
 UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
 {
-    sim::LockGuard lk(mu);
+    IoctlResult res;
+    {
+        sim::LockGuard lk(mu);
+        res = pinAndInstallLocked(pid, start, npages);
+    }
+    // Latency bookkeeping happens after mu is released (see record).
+    return record(res);
+}
+
+IoctlResult
+UtlbDriver::pinAndInstallLocked(ProcId pid, Vpn start,
+                                std::size_t npages)
+{
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return record(res);
+        return res;
     }
     if (npages == 0)
-        return record(res);
+        return res;
 
     PinStatus st = PinStatus::Ok;
     auto frames = pins->pinRange(pid, start, npages, &st);
@@ -104,7 +116,7 @@ UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
         // A rejected ioctl still costs the syscall entry; charge the
         // one-page pin floor as a conservative model.
         res.cost = hostCosts->pinCost(1);
-        return record(res);
+        return res;
     }
 
     HostPageTable &table = pageTable(pid);
@@ -118,26 +130,37 @@ UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
                 pins->unpinPage(pid, start + j);
             res.status = PinStatus::OutOfMemory;
             res.cost = hostCosts->pinCost(1);
-            return record(res);
+            return res;
         }
     }
 
     statPagesPinned += npages;
     res.pagesDone = npages;
     res.cost = hostCosts->pinCost(npages);
-    return record(res);
+    return res;
 }
 
 IoctlResult
 UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
                                     std::size_t npages)
 {
-    sim::LockGuard lk(mu);
+    IoctlResult res;
+    {
+        sim::LockGuard lk(mu);
+        res = unpinAndInvalidateLocked(pid, start, npages);
+    }
+    return record(res);
+}
+
+IoctlResult
+UtlbDriver::unpinAndInvalidateLocked(ProcId pid, Vpn start,
+                                     std::size_t npages)
+{
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return record(res);
+        return res;
     }
 
     HostPageTable &table = pageTable(pid);
@@ -155,7 +178,7 @@ UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
     }
     statPagesUnpinned += res.pagesDone;
     res.cost = hostCosts->unpinCost(res.pagesDone ? res.pagesDone : 1);
-    return record(res);
+    return res;
 }
 
 NicTranslationTable &
@@ -185,12 +208,22 @@ UtlbDriver::nicTable(ProcId pid) UTLB_NO_THREAD_SAFETY_ANALYSIS
 IoctlResult
 UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
-    sim::LockGuard lk(mu);
+    IoctlResult res;
+    {
+        sim::LockGuard lk(mu);
+        res = pinAtIndexLocked(pid, vpn, index);
+    }
+    return record(res);
+}
+
+IoctlResult
+UtlbDriver::pinAtIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
+{
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return record(res);
+        return res;
     }
 
     PinStatus st = PinStatus::Ok;
@@ -198,24 +231,34 @@ UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
     if (!frame) {
         res.status = st;
         res.cost = hostCosts->pinCost(1);
-        return record(res);
+        return res;
     }
     nicTable(pid).install(index, *frame);
     ++statPagesPinned;
     res.pagesDone = 1;
     res.cost = hostCosts->pinCost(1);
-    return record(res);
+    return res;
 }
 
 IoctlResult
 UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
-    sim::LockGuard lk(mu);
+    IoctlResult res;
+    {
+        sim::LockGuard lk(mu);
+        res = unpinIndexLocked(pid, vpn, index);
+    }
+    return record(res);
+}
+
+IoctlResult
+UtlbDriver::unpinIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
+{
     ++statIoctls;
     IoctlResult res;
     if (!isRegistered(pid)) {
         res.status = PinStatus::UnknownProcess;
-        return record(res);
+        return res;
     }
     res.status = pins->unpinPage(pid, vpn);
     if (res.status == PinStatus::Ok) {
@@ -224,7 +267,7 @@ UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
         res.pagesDone = 1;
     }
     res.cost = hostCosts->unpinCost(1);
-    return record(res);
+    return res;
 }
 
 // Audits run at quiescence only (no worker in an ioctl), so the

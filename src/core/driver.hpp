@@ -135,13 +135,22 @@ class UtlbDriver
     IoctlResult ioctlUnpinIndex(mem::ProcId pid, mem::Vpn vpn,
                                 UtlbIndex index);
 
-    /** @name Lifetime counters @{ */
-    std::uint64_t ioctlCalls() const { return statIoctls.value(); }
-    std::uint64_t pagesPinned() const
+    /**
+     * @name Lifetime counters
+     *
+     * Quiescent-only accessors (class comment): they read mu-guarded
+     * counters unlocked, by the same temporal contract as pageTable().
+     * @{
+     */
+    std::uint64_t ioctlCalls() const UTLB_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return statIoctls.value();
+    }
+    std::uint64_t pagesPinned() const UTLB_NO_THREAD_SAFETY_ANALYSIS
     {
         return statPagesPinned.value();
     }
-    std::uint64_t pagesUnpinned() const
+    std::uint64_t pagesUnpinned() const UTLB_NO_THREAD_SAFETY_ANALYSIS
     {
         return statPagesUnpinned.value();
     }
@@ -159,17 +168,47 @@ class UtlbDriver
     void audit(check::AuditReport &report) const;
 
   private:
-    /** Record an ioctl's outcome in the stats before returning it. */
-    IoctlResult record(IoctlResult res)
+    /**
+     * Record an ioctl's outcome in the latency stats before returning
+     * it. Called by the public wrappers *after* releasing the driver
+     * mutex: the bookkeeping is not part of the modeled critical
+     * section, and a rejected call — which only ever charges the
+     * one-page syscall floor — must not stretch its hold of mu while
+     * other workers' pins queue behind it. Rejects sample their own
+     * histogram so ioctl_latency_us stays a pure success-cost
+     * (Table 1) distribution.
+     */
+    IoctlResult record(IoctlResult res) UTLB_EXCLUDES(mu)
     {
-        statIoctlLatency.sample(sim::ticksToUs(res.cost));
-        if (res.status != mem::PinStatus::Ok)
+        sim::LockGuard lk(statMu);
+        if (res.status != mem::PinStatus::Ok) {
             ++statIoctlRejects;
+            statIoctlRejectLatency.sample(sim::ticksToUs(res.cost));
+        } else {
+            statIoctlLatency.sample(sim::ticksToUs(res.cost));
+        }
         return res;
     }
 
+    /** @name Locked ioctl bodies (wrappers record() after unlock) @{ */
+    IoctlResult pinAndInstallLocked(mem::ProcId pid, mem::Vpn start,
+                                    std::size_t npages)
+        UTLB_REQUIRES(mu);
+    IoctlResult unpinAndInvalidateLocked(mem::ProcId pid,
+                                         mem::Vpn start,
+                                         std::size_t npages)
+        UTLB_REQUIRES(mu);
+    IoctlResult pinAtIndexLocked(mem::ProcId pid, mem::Vpn vpn,
+                                 UtlbIndex index) UTLB_REQUIRES(mu);
+    IoctlResult unpinIndexLocked(mem::ProcId pid, mem::Vpn vpn,
+                                 UtlbIndex index) UTLB_REQUIRES(mu);
+    /** @} */
+
     /** Serializes ioctls and (un)registration (see class comment). */
     sim::Mutex mu;
+
+    /** Guards the latency/reject stats record() touches (post-mu). */
+    sim::Mutex statMu;
 
     mem::PhysMemory *hostMem;
     mem::PinFacility *pins;
@@ -196,19 +235,25 @@ class UtlbDriver
         spaces UTLB_GUARDED_BY(mu);
 
     sim::StatGroup statsGrp{"driver"};
-    sim::Counter statIoctls{&statsGrp, "ioctl_calls",
-                            "ioctl invocations (all four entry "
-                            "points)"};
-    sim::Counter statIoctlRejects{&statsGrp, "ioctl_rejects",
-                                  "ioctls that returned a non-Ok "
-                                  "status"};
-    sim::Counter statPagesPinned{&statsGrp, "pages_pinned",
-                                 "pages pinned through ioctls"};
-    sim::Counter statPagesUnpinned{&statsGrp, "pages_unpinned",
-                                   "pages unpinned through ioctls"};
-    sim::Histogram statIoctlLatency{&statsGrp, "ioctl_latency_us",
-                                    "modeled cost per ioctl (Table 1 "
-                                    "batch curve)", 200.0, 40};
+    sim::Counter statIoctls UTLB_GUARDED_BY(mu){
+        &statsGrp, "ioctl_calls",
+        "ioctl invocations (all four entry points)"};
+    sim::Counter statIoctlRejects UTLB_GUARDED_BY(statMu){
+        &statsGrp, "ioctl_rejects",
+        "ioctls that returned a non-Ok status"};
+    sim::Counter statPagesPinned UTLB_GUARDED_BY(mu){
+        &statsGrp, "pages_pinned", "pages pinned through ioctls"};
+    sim::Counter statPagesUnpinned UTLB_GUARDED_BY(mu){
+        &statsGrp, "pages_unpinned",
+        "pages unpinned through ioctls"};
+    sim::Histogram statIoctlLatency UTLB_GUARDED_BY(statMu){
+        &statsGrp, "ioctl_latency_us",
+        "modeled cost per successful ioctl (Table 1 batch curve)",
+        200.0, 40};
+    sim::Histogram statIoctlRejectLatency UTLB_GUARDED_BY(statMu){
+        &statsGrp, "ioctl_reject_latency_us",
+        "modeled cost charged to rejected ioctls (syscall floor)",
+        200.0, 40};
 };
 
 } // namespace utlb::core

@@ -1,0 +1,119 @@
+#include "core/fill_pipeline.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+FillPipeline::FillPipeline(UtlbDriver &drv, SharedUtlbCache &c,
+                           const nic::NicTimings &t,
+                           std::size_t queue_capacity)
+    : driver(&drv), cache(&c), timings(&t), queue(queue_capacity),
+      shard(c.makeShard())
+{
+    // Arm the cache's striped locking (idempotent; construction-time,
+    // so quiescent): the fill thread installs through insertMT and
+    // must never run against an unarmed cache.
+    cache->enableConcurrent();
+    batch.reserve(kBatchMax);
+    filler = std::thread([this] { run(); });
+}
+
+FillPipeline::~FillPipeline()
+{
+    stop();
+}
+
+bool
+FillPipeline::post(FillTicket &t, mem::ProcId pid, mem::Vpn vpn,
+                   std::size_t width)
+{
+    if (width == 0)
+        sim::fatal("FillPipeline::post width must be >= 1");
+    t.pid = pid;
+    t.vpn = vpn;
+    t.width = width;
+    // Relaxed is enough: the push's queue mutex orders these writes
+    // before the fill thread's reads.
+    t.done.store(false, std::memory_order_relaxed);
+    t.postedAt = std::chrono::steady_clock::now();
+    if (!queue.tryPush(&t))
+        return false;
+    statPosted.addRelaxed(1);
+    return true;
+}
+
+void
+FillPipeline::waitDone(const FillTicket &t)
+{
+    // Fast path: the fill already completed; the acquire pairs with
+    // the fill thread's release store and makes result visible.
+    if (t.done.load(std::memory_order_acquire))
+        return;
+    sim::UniqueLock lk(doneMu);
+    while (!t.done.load(std::memory_order_acquire))
+        doneCv.waitOn(lk);
+}
+
+void
+FillPipeline::stop()
+{
+    queue.stop();
+    if (!joined && filler.joinable()) {
+        filler.join();
+        joined = true;
+        // The fill thread has exited: its shard is quiescent; fold
+        // its cache-stat deltas into the global tree.
+        cache->absorbShard(shard);
+    }
+}
+
+void
+FillPipeline::run()
+{
+    for (;;) {
+        batch.clear();
+        std::size_t n = queue.popBatch(batch, kBatchMax);
+        if (n == 0)
+            return; // stopped and drained
+        statBatchSize.sample(static_cast<double>(n));
+        statQueueDepth.sample(static_cast<double>(queue.depth()));
+
+        // Service the batch stripe-major: installs then take each
+        // stripe spinlock in runs. stable_sort keeps same-stripe
+        // fills in post order (FIFO fairness within a stripe).
+        std::stable_sort(
+            batch.begin(), batch.end(),
+            [this](const FillTicket *a, const FillTicket *b) {
+                return cache->stripeIndex(a->pid, a->vpn) <
+                       cache->stripeIndex(b->pid, b->vpn);
+            });
+
+        for (FillTicket *t : batch) {
+            t->result = serviceMiss(*driver, *cache, *timings, t->pid,
+                                    t->vpn, t->width, runBuf,
+                                    repairBuf, &shard, nullptr);
+            ++statFills;
+            if (t->result.fault)
+                ++statFaultFills;
+            statOverlappedTicks +=
+                static_cast<std::uint64_t>(t->result.cost);
+            statFillLatency.sample(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t->postedAt)
+                    .count());
+            // Publish completion. The store sits inside the mutex so
+            // a waiter cannot check done and sleep between our store
+            // and notify (the classic lost wakeup); the release pairs
+            // with waitDone's acquire to hand over result.
+            {
+                sim::LockGuard lk(doneMu);
+                t->done.store(true, std::memory_order_release);
+            }
+            doneCv.notifyAll();
+        }
+    }
+}
+
+} // namespace utlb::core

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Asynchronous miss service: outstanding-DMA continuations.
+ *
+ * The paper's UTLB firmware keeps accepting messages while
+ * translation-miss DMAs are outstanding; our serialized miss path
+ * instead stalled the missing worker inside the driver mutex, so one
+ * slow miss DMA held up every concurrent translation. FillPipeline
+ * models the decoupled design:
+ *
+ *  - workers post miss requests (FillTicket) into a bounded MPSC
+ *    FillQueue and keep translating — later hits in the window are
+ *    served while the fill is in flight;
+ *  - one dedicated fill thread drains the queue in batches, sorts
+ *    each batch by cache stripe (so installs take each stripe lock
+ *    in runs instead of ping-ponging), services every miss through
+ *    the same serviceMiss() routine as the synchronous path — same
+ *    host-table DMA, same fault-repair ioctl through the driver
+ *    mutex, same insertMT under the seqlock/stripe-lock write
+ *    protocol — and publishes the result on the ticket;
+ *  - completion wakes only threads blocked in waitDone(); workers
+ *    that never wait are never touched.
+ *
+ * Producers never block: a full (or stopped) queue fails the post
+ * and the worker services that miss synchronously, so the pipeline
+ * can only ever degrade to the old serialized behaviour.
+ *
+ * Ownership rules (docs/performance.md): the fill thread owns its
+ * own cache Shard, scratch buffers, and every pipeline statistic;
+ * a ticket belongs to the fill thread from the moment tryPush()
+ * accepts it until done is observed true, then returns to the
+ * posting worker. Stats are read at quiescence after stop().
+ */
+
+#ifndef UTLB_CORE_FILL_PIPELINE_HPP
+#define UTLB_CORE_FILL_PIPELINE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/utlb.hpp"
+#include "sim/annotations.hpp"
+#include "sim/fill_queue.hpp"
+#include "sim/mutex.hpp"
+#include "sim/stats.hpp"
+
+namespace utlb::core {
+
+/**
+ * One outstanding miss-fill request. Owned by the posting worker;
+ * lent to the fill thread between a successful post and the
+ * done-flag release. pid/vpn/width are written by the worker before
+ * the post and read-only afterwards; result is written by the fill
+ * thread before it releases done.
+ */
+struct FillTicket {
+    mem::ProcId pid = 0;
+    mem::Vpn vpn = 0;
+    std::size_t width = 1;
+
+    /** Wall clock at post time (fill-latency histogram). */
+    std::chrono::steady_clock::time_point postedAt;
+
+    /** Filled by the fill thread; valid once done is true. */
+    MissOutcome result;
+
+    /** Release-published completion flag; see FillPipeline::waitDone. */
+    std::atomic<bool> done{false};
+};
+
+/**
+ * The dedicated fill thread plus its queue. One instance per NIC
+ * (per SharedUtlbCache); every concurrent UserUtlb view of that NIC
+ * may attach to it. The constructor starts the thread; stop() (or
+ * the destructor) drains the queue, joins, and folds the fill
+ * thread's stat shard into the cache — after stop() the pipeline's
+ * statistics are quiescent and exact.
+ */
+class FillPipeline
+{
+  public:
+    /** Tickets the fill thread drains per queue pop. */
+    static constexpr std::size_t kBatchMax = 16;
+
+    FillPipeline(UtlbDriver &drv, SharedUtlbCache &cache,
+                 const nic::NicTimings &timings,
+                 std::size_t queue_capacity = 64);
+
+    ~FillPipeline();
+
+    FillPipeline(const FillPipeline &) = delete;
+    FillPipeline &operator=(const FillPipeline &) = delete;
+
+    /**
+     * Post a miss-fill request. Never blocks: false means the queue
+     * is full or stopped and the caller must service the miss
+     * synchronously. On true, @p t belongs to the fill thread until
+     * waitDone() returns.
+     */
+    [[nodiscard]] bool post(FillTicket &t, mem::ProcId pid,
+                            mem::Vpn vpn, std::size_t width);
+
+    /**
+     * Block until @p t completes. Fast path is one acquire load;
+     * the slow path sleeps on the completion condvar (woken per
+     * serviced ticket, so only stalled translations are woken —
+     * workers serving hits never block here).
+     */
+    void waitDone(const FillTicket &t);
+
+    /**
+     * Stop accepting fills, drain every accepted ticket, join the
+     * fill thread, and absorb its stat shard. Idempotent. Tickets
+     * accepted before the stop still complete (no lost fills); no
+     * install happens after stop() returns.
+     */
+    void stop();
+
+    /** True until stop() has begun. */
+    bool accepting() const { return !queue.isStopped(); }
+
+    /** @name Quiescent accessors (call after stop(), or for tests) @{ */
+    std::uint64_t fillsCompleted() const { return statFills.value(); }
+
+    /** Modeled DMA ticks serviced off the workers' critical path. */
+    sim::Tick overlappedTicks() const
+    {
+        return static_cast<sim::Tick>(statOverlappedTicks.value());
+    }
+    /** @} */
+
+    /** The pipeline's statistics subtree ("fill_pipeline"). */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
+
+  private:
+    void run();
+
+    UtlbDriver *driver;
+    SharedUtlbCache *cache;
+    const nic::NicTimings *timings;
+
+    sim::FillQueue<FillTicket *> queue;
+
+    /** Pairs the done flags with sleeping waiters (no lost wakeup). */
+    sim::Mutex doneMu;
+    sim::CondVar doneCv;
+
+    /** @name Fill-thread-owned state (no locks; single owner) @{ */
+    SharedUtlbCache::Shard shard;
+    std::vector<std::optional<mem::Pfn>> runBuf;
+    std::vector<std::optional<mem::Pfn>> repairBuf;
+    std::vector<FillTicket *> batch;
+    /** @} */
+
+    bool joined = false;
+    std::thread filler;
+
+    sim::StatGroup statsGrp{"fill_pipeline"};
+    sim::Counter statPosted{&statsGrp, "fills_posted",
+                            "miss requests accepted by the queue"};
+    sim::Counter statFills{&statsGrp, "fills_completed",
+                           "miss requests serviced by the fill "
+                           "thread"};
+    sim::Counter statFaultFills{&statsGrp, "fault_fills",
+                                "serviced fills that took the "
+                                "host-interrupt fault path"};
+    sim::Counter statOverlappedTicks{&statsGrp, "overlapped_ticks",
+                                     "modeled miss-service ticks "
+                                     "run on the fill thread, "
+                                     "overlapping worker progress"};
+    sim::Histogram statBatchSize{&statsGrp, "batch_size",
+                                 "tickets drained per queue pop",
+                                 static_cast<double>(kBatchMax) + 1.0,
+                                 kBatchMax + 1};
+    sim::Histogram statQueueDepth{&statsGrp, "queue_depth",
+                                  "queue occupancy after each batch "
+                                  "pop", 64.0, 16};
+    sim::Histogram statFillLatency{&statsGrp, "fill_latency_us",
+                                   "wall-clock post-to-completion "
+                                   "latency per fill", 1000.0, 40};
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_FILL_PIPELINE_HPP

@@ -1,10 +1,106 @@
 #include "core/utlb.hpp"
 
+#include "core/fill_pipeline.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
 
 using mem::Vpn;
+
+MissOutcome
+serviceMiss(UtlbDriver &driver, SharedUtlbCache &cache,
+            const nic::NicTimings &timings, mem::ProcId pid, Vpn vpn,
+            std::size_t width,
+            std::vector<std::optional<mem::Pfn>> &runBuf,
+            std::vector<std::optional<mem::Pfn>> &repairBuf,
+            SharedUtlbCache::Shard *shard, sim::Tracer *tracer)
+{
+    MissOutcome mo;
+    HostPageTable &table = driver.pageTable(pid);
+    table.readRun(vpn, width, runBuf);
+    auto &run = runBuf;
+
+    if (run.empty() || !run[0]) {
+        // The page is not pinned: only reachable when the host-side
+        // prepare() was bypassed. Fall back to interrupting the host
+        // (§3.1), pinning on the NIC's behalf.
+        mo.fault = true;
+        sim::Tick faultCost = timings.interruptCost;
+        IoctlResult io = driver.ioctlPinAndInstall(pid, vpn, 1);
+        faultCost += io.cost;
+        mo.cost += faultCost;
+        if (tracer)
+            tracer->complete("pin.ioctl", "nic", pid, faultCost,
+                             {{"vpn", vpn},
+                              {"ok", io.status == mem::PinStatus::Ok
+                                         ? 1u
+                                         : 0u}});
+        if (io.status != mem::PinStatus::Ok) {
+            mo.pfn = driver.garbageFrame();
+            return mo;
+        }
+        // The host pinned exactly one page for us; fetch that single
+        // repaired entry rather than re-charging a full prefetch-width
+        // DMA for neighbours the wide read already answered.
+        table.readRun(vpn, 1, repairBuf);
+        if (run.empty()) {
+            run.swap(repairBuf);
+        } else {
+            // The wide DMA returned valid neighbours around the
+            // invalid first entry. Splice the repaired entry into the
+            // run instead of replacing the whole run with it: the
+            // neighbours were already transferred, so they install —
+            // and count into fetched / prefetch_installs — exactly
+            // once.
+            run[0] = repairBuf.empty()
+                ? std::nullopt
+                : repairBuf[0];
+            mo.cost += timings.entryFetchCost(1);
+        }
+    }
+
+    // Install the missing entry plus any valid prefetched neighbours
+    // ("in order for prefetching to work well, translations for
+    // contiguous application pages must be available", §6.4). Only
+    // run[0] answers a real reference; neighbours are speculative and
+    // must not perturb LRU order when they merely refresh a resident
+    // line.
+    std::size_t installed = 0;
+    for (std::size_t i = 0; i < run.size(); ++i) {
+        if (!run[i])
+            continue;
+        InsertMode mode =
+            i == 0 ? InsertMode::Demand : InsertMode::Prefetch;
+        if (shard)
+            cache.insertMT(pid, vpn + i, *run[i], mode, *shard);
+        else
+            cache.insert(pid, vpn + i, *run[i], mode);
+        if (i != 0)
+            ++mo.prefetchInstalls;
+        ++installed;
+    }
+    mo.fetched = installed;
+    // An empty run means the table gave us nothing to DMA: charge the
+    // single directory reference that discovered that, not a
+    // full-width fetch of entries that were never transferred.
+    sim::Tick fetchCost = run.empty()
+        ? timings.directoryRefCost
+        : timings.missHandleCost(run.size());
+    mo.cost += fetchCost;
+    if (tracer) {
+        tracer->complete("table.dma_read", "nic", pid, fetchCost,
+                         {{"vpn", vpn}, {"width", run.size()}});
+        tracer->instant("cache.install", "nic", pid,
+                        {{"vpn", vpn}, {"installed", installed}});
+    }
+    if (installed == 0 || !run[0]) {
+        mo.pfn = driver.garbageFrame();
+        return mo;
+    }
+    mo.pfn = *run[0];
+    mo.ok = true;
+    return mo;
+}
 
 UserUtlb::UserUtlb(UtlbDriver &drv, SharedUtlbCache &cache,
                    const nic::NicTimings &t, mem::ProcId pid,
@@ -70,76 +166,53 @@ UserUtlb::nicTranslateImpl(Vpn vpn)
 
     out.miss = true;
     ++statMisses;
-    HostPageTable &table = driver->pageTable(procId);
-    table.readRun(vpn, cfg.prefetchEntries, runBuf);
-    auto &run = runBuf;
-
-    if (run.empty() || !run[0]) {
-        // The page is not pinned: only reachable when the host-side
-        // prepare() was bypassed. Fall back to interrupting the host
-        // (§3.1), pinning on the NIC's behalf.
+    MissOutcome mo = serviceMiss(*driver, *nicCache, *timings, procId,
+                                 vpn, cfg.prefetchEntries, runBuf,
+                                 repairBuf, shard ? &*shard : nullptr,
+                                 tracer);
+    if (mo.fault) {
         out.fault = true;
         ++statFaults;
-        sim::Tick faultCost = timings->interruptCost;
-        IoctlResult io = driver->ioctlPinAndInstall(procId, vpn, 1);
-        faultCost += io.cost;
-        out.cost += faultCost;
-        if (tracer)
-            tracer->complete("pin.ioctl", "nic", procId, faultCost,
-                             {{"vpn", vpn},
-                              {"ok", io.status == mem::PinStatus::Ok
-                                         ? 1u
-                                         : 0u}});
-        if (io.status != mem::PinStatus::Ok) {
-            out.pfn = driver->garbageFrame();
-            return out;
-        }
-        // The host pinned exactly one page for us; fetch that single
-        // repaired entry rather than re-charging a full prefetch-width
-        // DMA for neighbours we already know are absent.
-        table.readRun(vpn, 1, runBuf);
     }
-
-    // Install the missing entry plus any valid prefetched neighbours
-    // ("in order for prefetching to work well, translations for
-    // contiguous application pages must be available", §6.4). Only
-    // run[0] answers a real reference; neighbours are speculative and
-    // must not perturb LRU order when they merely refresh a resident
-    // line.
-    std::size_t installed = 0;
-    for (std::size_t i = 0; i < run.size(); ++i) {
-        if (!run[i])
-            continue;
-        InsertMode mode =
-            i == 0 ? InsertMode::Demand : InsertMode::Prefetch;
-        if (shard)
-            nicCache->insertMT(procId, vpn + i, *run[i], mode, *shard);
-        else
-            nicCache->insert(procId, vpn + i, *run[i], mode);
-        if (i != 0)
-            ++statPrefetchInstalls;
-        ++installed;
-    }
-    out.fetched = installed;
-    // An empty run means the table gave us nothing to DMA: charge the
-    // single directory reference that discovered that, not a
-    // full-width fetch of entries that were never transferred.
-    sim::Tick fetchCost = run.empty()
-        ? timings->directoryRefCost
-        : timings->missHandleCost(run.size());
-    out.cost += fetchCost;
-    if (tracer) {
-        tracer->complete("table.dma_read", "nic", procId, fetchCost,
-                         {{"vpn", vpn}, {"width", run.size()}});
-        tracer->instant("cache.install", "nic", procId,
-                        {{"vpn", vpn}, {"installed", installed}});
-    }
-    if (installed == 0 || !run[0]) {
-        out.pfn = driver->garbageFrame();
-        return out;
-    }
-    out.pfn = *run[0];
+    statPrefetchInstalls += mo.prefetchInstalls;
+    out.fetched = mo.fetched;
+    out.cost += mo.cost;
+    out.pfn = mo.pfn;
     return out;
+}
+
+void
+UserUtlb::attachFillPipeline(FillPipeline *fp)
+{
+    if (fp && !shard)
+        sim::fatal("attachFillPipeline requires concurrent mode "
+                   "(UtlbConfig::concurrent)");
+    fillPipe = fp;
+    if (fp) {
+        if (!tickets)
+            tickets =
+                std::make_unique<FillTicket[]>(kMaxOutstandingFills);
+        asyncPending.reserve(kMaxOutstandingFills);
+        asyncWaiters.reserve(kMaxOutstandingFills);
+    }
+}
+
+void
+UserUtlb::syncServicePage(Vpn vpn, sim::Tick probeCost, mem::Pfn &slot,
+                          Translation &tr)
+{
+    MissOutcome mo = serviceMiss(*driver, *nicCache, *timings, procId,
+                                 vpn, cfg.prefetchEntries, runBuf,
+                                 repairBuf, shard ? &*shard : nullptr,
+                                 nullptr);
+    if (mo.fault) {
+        ++statFaults;
+        ++tr.faults;
+    }
+    statPrefetchInstalls += mo.prefetchInstalls;
+    tr.nicCost += mo.cost;
+    statTranslateLatency.sample(sim::ticksToUs(probeCost + mo.cost));
+    slot = mo.pfn;
 }
 
 namespace {
@@ -228,6 +301,13 @@ UserUtlb::translateRange(mem::VirtAddr va, std::size_t nbytes)
     // place, then convert to frame addresses in one pass at the end.
     mem::Pfn *slots = tr.pageAddrs.data();
 
+    if (fillPipe && shard) {
+        nicRangeAsync(start, npages, slots, tr);
+        for (std::size_t p = 0; p < npages; ++p)
+            slots[p] = mem::frameAddr(slots[p]);
+        return tr;
+    }
+
     std::size_t i = 0;
     CacheProbe fast;
     bool l0Hit = shard
@@ -275,6 +355,158 @@ UserUtlb::translateRange(mem::VirtAddr va, std::size_t nbytes)
     for (std::size_t p = 0; p < npages; ++p)
         slots[p] = mem::frameAddr(slots[p]);
     return tr;
+}
+
+void
+UserUtlb::nicRangeAsync(Vpn start, std::size_t npages, mem::Pfn *slots,
+                        Translation &tr)
+{
+    asyncPending.clear();
+    asyncWaiters.clear();
+
+    // Modeled overlap accounting. tNow is the worker's modeled clock
+    // within this window (ticks of NIC service it has consumed); a
+    // posted fill starts its DMA at post time on a single modeled
+    // fill engine and runs concurrently with the worker's subsequent
+    // hit service. At collection only the residual stall —
+    // completion time minus the worker's clock — is charged to
+    // nicCost, so the window's modeled cost reflects the overlap.
+    sim::Tick tNow = 0;
+
+    std::size_t i = 0;
+    CacheProbe fast;
+    if (nicCache->hitViaRefMT(l0, procId, start, fast, *shard)) {
+        statTranslateLatency.sample(sim::ticksToUs(fast.cost));
+        tr.nicCost += fast.cost;
+        tNow += fast.cost;
+        slots[0] = fast.pfn;
+        i = 1;
+    }
+
+    while (i < npages) {
+        SharedUtlbCache::LineRef *ref = i == 0 ? &l0 : nullptr;
+        RunHits run = nicCache->lookupRunMT(procId, start + i,
+                                            npages - i, slots + i, ref,
+                                            *shard);
+        if (run.hits > 0) {
+            statTranslateLatency.sampleN(sim::ticksToUs(run.perHitCost),
+                                         run.hits);
+            tr.nicCost += run.cost;
+            tNow += run.cost;
+            i += run.hits;
+            continue;
+        }
+        // First page of the window misses. Probe it individually
+        // (recording hit-or-miss in the shard, like the synchronous
+        // walk's nicTranslate would); a fill that landed since the
+        // run probe turns it into a plain hit.
+        Vpn vpn = start + i;
+        CacheProbe probe = nicCache->lookupMT(procId, vpn, *shard);
+        tr.nicCost += probe.cost;
+        tNow += probe.cost;
+        if (probe.hit) {
+            statTranslateLatency.sample(sim::ticksToUs(probe.cost));
+            slots[i] = probe.pfn;
+            ++i;
+            continue;
+        }
+        ++statMisses;
+        ++tr.niMisses;
+        tr.missPages.push_back(static_cast<std::uint32_t>(i));
+
+        // A real miss. If an in-flight fill's prefetch width already
+        // covers this page, don't duplicate the DMA — re-probe after
+        // that fill completes.
+        bool covered = false;
+        for (const PendingFill &p : asyncPending) {
+            if (vpn >= p.ticket->vpn &&
+                vpn < p.ticket->vpn + p.ticket->width) {
+                covered = true;
+                break;
+            }
+        }
+        if (covered) {
+            ++statAsyncCoalesced;
+            asyncWaiters.push_back(static_cast<std::uint32_t>(i));
+            ++i;
+            continue;
+        }
+
+        // Post a fill and keep walking: later pages of the buffer are
+        // served (hits and all) while the fill thread DMAs this one.
+        if (asyncPending.size() < kMaxOutstandingFills) {
+            FillTicket &t = tickets[asyncPending.size()];
+            if (fillPipe->post(t, procId, vpn, cfg.prefetchEntries)) {
+                ++statAsyncFills;
+                asyncPending.push_back(
+                    {static_cast<std::uint32_t>(i), probe.cost, tNow,
+                     &t});
+                ++i;
+                continue;
+            }
+        }
+        // Outstanding window exhausted or queue full/stopped: the
+        // bounded-DMA model says service this one in place, fully on
+        // the worker's clock.
+        ++statAsyncFallbacks;
+        sim::Tick before = tr.nicCost;
+        syncServicePage(vpn, probe.cost, slots[i], tr);
+        tNow += tr.nicCost - before;
+        ++i;
+    }
+
+    // Collect the outstanding fills (post order). Each outstanding
+    // slot is its own modeled DMA engine — the bounded-window model
+    // of the paper's firmware posting a translation-miss DMA per miss
+    // and letting them complete out of order — so fill k completes at
+    // postTick + cost, independent of its siblings. Waiting on the
+    // first fill advances the worker's clock past most of the others'
+    // completion times: their DMA ran hidden behind the stall and
+    // costs the window nothing. Only time not yet covered by tNow is
+    // charged.
+    for (const PendingFill &p : asyncPending) {
+        fillPipe->waitDone(*p.ticket);
+        const MissOutcome &mo = p.ticket->result;
+        if (mo.fault) {
+            ++statFaults;
+            ++tr.faults;
+        }
+        statPrefetchInstalls += mo.prefetchInstalls;
+        sim::Tick done = p.postTick + mo.cost;
+        sim::Tick stall = done > tNow ? done - tNow : 0;
+        statAsyncHiddenTicks += static_cast<std::uint64_t>(
+            mo.cost - (stall < mo.cost ? stall : mo.cost));
+        tr.nicCost += stall;
+        tNow += stall;
+        statTranslateLatency.sample(
+            sim::ticksToUs(p.probeCost + stall));
+        slots[p.page] = mo.pfn;
+    }
+    asyncPending.clear();
+
+    // Pages that waited on a neighbour's fill re-probe now that the
+    // covering fill has completed. The scan probe already paid the
+    // full cache reference and computed the set index; the
+    // post-completion recheck re-reads that set only, so it is
+    // modeled as one way probe, not a second full lookup.
+    for (std::uint32_t page : asyncWaiters) {
+        Vpn vpn = start + page;
+        CacheProbe probe = nicCache->lookupMT(procId, vpn, *shard);
+        sim::Tick recheck = timings->perWayProbeCost;
+        tr.nicCost += recheck;
+        tNow += recheck;
+        if (probe.hit) {
+            statTranslateLatency.sample(sim::ticksToUs(recheck));
+            slots[page] = probe.pfn;
+            continue;
+        }
+        // The covering fill's run had an invalid entry for this page
+        // (or the entry was evicted already): service it here.
+        sim::Tick before = tr.nicCost;
+        syncServicePage(vpn, recheck, slots[page], tr);
+        tNow += tr.nicCost - before;
+    }
+    asyncWaiters.clear();
 }
 
 } // namespace utlb::core

@@ -26,6 +26,7 @@
 #define UTLB_CORE_UTLB_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -65,6 +66,47 @@ struct UtlbConfig {
      */
     bool concurrent = false;
 };
+
+class FillPipeline;
+struct FillTicket;
+
+/**
+ * Outcome of servicing one NIC-cache miss: the host-table fetch,
+ * the optional fault-repair ioctl, and the cache installs. Shared
+ * between the synchronous miss path (UserUtlb::nicTranslate) and the
+ * asynchronous fill thread (FillPipeline), so both charge the same
+ * modeled costs and count the same statistics.
+ */
+struct MissOutcome {
+    mem::Pfn pfn = mem::kInvalidPfn;
+    sim::Tick cost = 0;     //!< modeled service cost (probe excluded)
+    bool fault = false;     //!< host-table entry was invalid
+    bool ok = false;        //!< pfn is a real frame, not garbage
+    std::size_t fetched = 0;          //!< entries installed
+    std::size_t prefetchInstalls = 0; //!< neighbours among them
+};
+
+/**
+ * Service a Shared UTLB-Cache miss for (pid, vpn): DMA up to
+ * @p width consecutive host-table entries, repair an invalid first
+ * entry by interrupting the host (the §3.1 fault path), and install
+ * every valid entry fetched. @p runBuf / @p repairBuf are caller
+ * scratch (the miss path must not allocate); @p shard selects the
+ * concurrent install path; @p tracer may be null.
+ *
+ * Fault repair reuses the initial wide fetch: when the wide DMA
+ * returned valid neighbours around an invalid first entry, only the
+ * repaired entry is re-fetched (1-wide) and spliced into the run, so
+ * the neighbours already transferred are installed — and counted —
+ * exactly once.
+ */
+MissOutcome serviceMiss(UtlbDriver &driver, SharedUtlbCache &cache,
+                        const nic::NicTimings &timings, mem::ProcId pid,
+                        mem::Vpn vpn, std::size_t width,
+                        std::vector<std::optional<mem::Pfn>> &runBuf,
+                        std::vector<std::optional<mem::Pfn>> &repairBuf,
+                        SharedUtlbCache::Shard *shard,
+                        sim::Tracer *tracer);
 
 /** NIC-side outcome for one page. */
 struct NicLookup {
@@ -152,6 +194,26 @@ class UserUtlb
      */
     Translation translateRange(mem::VirtAddr va, std::size_t nbytes);
 
+    /**
+     * Attach the NIC's asynchronous fill pipeline (concurrent mode
+     * only; fatal otherwise). translateRange() then services misses
+     * out of order: each miss posts a fill request and the walk keeps
+     * serving later hits while the fill thread DMAs the entries;
+     * results are collected before the call returns. Hits never
+     * touch the queue, so hit service is never blocked by an
+     * in-flight fill. When the queue is full (or stopped) a miss
+     * falls back to the synchronous path, so translation *results*
+     * are identical either way; modeled costs differ by design — a
+     * fill's DMA ticks run on a modeled fill-engine timeline and only
+     * the residual stall at collection is charged to the window, so
+     * nicCost reflects the overlap (docs/performance.md). Pass
+     * nullptr to detach.
+     */
+    void attachFillPipeline(FillPipeline *fp);
+
+    /** The attached fill pipeline, or nullptr. */
+    FillPipeline *fillPipeline() { return fillPipe; }
+
     PinManager &pinManager() { return pinMgr; }
     const PinManager &pinManager() const { return pinMgr; }
 
@@ -172,6 +234,20 @@ class UserUtlb
   private:
     NicLookup nicTranslateImpl(mem::Vpn vpn);
 
+    /**
+     * The asynchronous NIC half of translateRange(): batched lookups
+     * with misses posted to the fill pipeline; pending fills are
+     * collected (demand pages first, then pages covered by a
+     * neighbour's in-flight fill) before returning. @p slots receives
+     * pfns, converted to frame addresses by the caller.
+     */
+    void nicRangeAsync(mem::Vpn start, std::size_t npages,
+                       mem::Pfn *slots, Translation &tr);
+
+    /** Service one missing page synchronously (shared tail). */
+    void syncServicePage(mem::Vpn vpn, sim::Tick probeCost,
+                         mem::Pfn &slot, Translation &tr);
+
     UtlbDriver *driver;
     SharedUtlbCache *nicCache;
     const nic::NicTimings *timings;
@@ -182,6 +258,36 @@ class UserUtlb
 
     /** Reused readRun buffer: the miss path must not allocate. */
     std::vector<std::optional<mem::Pfn>> runBuf;
+
+    /** Scratch for the fault path's 1-wide repair re-fetch. */
+    std::vector<std::optional<mem::Pfn>> repairBuf;
+
+    /**
+     * Outstanding fills this view may have in flight at once — the
+     * model's bounded outstanding-DMA window. Misses beyond it (or
+     * past a full queue) are serviced synchronously.
+     */
+    static constexpr std::size_t kMaxOutstandingFills = 8;
+
+    /** Attached fill pipeline (nullptr = synchronous miss service). */
+    FillPipeline *fillPipe = nullptr;
+
+    /** This view's fill tickets (allocated on first attach). */
+    std::unique_ptr<FillTicket[]> tickets;
+
+    /** One in-flight fill of the current window. */
+    struct PendingFill {
+        std::uint32_t page;  //!< page index within the buffer
+        sim::Tick probeCost; //!< the missing probe's modeled cost
+        sim::Tick postTick;  //!< window-relative modeled post time
+        FillTicket *ticket;
+    };
+
+    /** In-flight fills of the current window, in post order. */
+    std::vector<PendingFill> asyncPending;
+
+    /** Pages covered by an in-flight neighbour fill (re-probed). */
+    std::vector<std::uint32_t> asyncWaiters;
 
     /**
      * Per-worker shared-cache context (concurrent mode only). Like
@@ -202,6 +308,22 @@ class UserUtlb
     sim::Counter statPrefetchInstalls{&statsGrp, "prefetch_installs",
                                       "speculative neighbour entries "
                                       "installed alongside misses"};
+    sim::Counter statAsyncFills{&statsGrp, "async_fills",
+                                "misses serviced through the fill "
+                                "pipeline"};
+    sim::Counter statAsyncCoalesced{&statsGrp, "async_coalesced",
+                                    "missing pages covered by an "
+                                    "already in-flight fill"};
+    sim::Counter statAsyncFallbacks{&statsGrp, "async_sync_fallbacks",
+                                    "misses serviced synchronously "
+                                    "because the fill queue was full, "
+                                    "stopped, or the outstanding "
+                                    "window was exhausted"};
+    sim::Counter statAsyncHiddenTicks{&statsGrp, "async_hidden_ticks",
+                                      "modeled miss-service ticks "
+                                      "hidden behind concurrent hit "
+                                      "service (DMA time off the "
+                                      "window's critical path)"};
     sim::Histogram statTranslateLatency{
         &statsGrp, "translate_latency_us",
         "modeled per-page NIC translation latency", 50.0, 50};

@@ -1,0 +1,25 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// C++20 atomic wait and the compare_exchange pair relying on the
+// seq_cst default. A completion flag's wait must spell the acquire
+// it pairs with the publisher's release, and a CAS must state both
+// its success and failure orders — the defaults hide the protocol.
+//
+// utlb-lint-expect: memory-order
+
+#include <atomic>
+
+void
+awaitFillDone(std::atomic<bool> &done)
+{
+    // BAD: defaulted order on the blocking wait.
+    done.wait(false);
+}
+
+bool
+claimTicket(std::atomic<int> &state)
+{
+    int expected = 0;
+    // BAD: defaulted success/failure orders on the CAS.
+    return state.compare_exchange_strong(expected, 1);
+}
