@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/json.hpp"
+#include "sim/simd.hpp"
 #include "sim/table.hpp"
 #include "tlbsim/simulator.hpp"
 #include "trace/workloads.hpp"
@@ -171,6 +172,11 @@ class JsonReporter
 #else
         w.field("build_type", "debug");
 #endif
+        // Which packed tag-compare kernel the dispatch selected
+        // (avx2/sse2/scalar) -- modeled results are identical across
+        // the three, but throughput numbers are only comparable
+        // between runs that used the same kernel.
+        w.field("simd", utlb::simd::activePathName());
         w.endObject();
         w.beginArray("points");
         for (const auto &p : points) {

@@ -199,6 +199,50 @@ checkEquivalence(const Scenario &sc)
     }
 }
 
+/**
+ * Direct probe-cost microcell: ns per SharedUtlbCache::lookup() on a
+ * warm cache at the given associativity — the packed tag-compare
+ * loop with as little else as a call can carry. Reported per assoc
+ * {1, 2, 4}; perf-smoke gates each cell against the same run's
+ * same_page ns/page (the probe is a strict subset of that path, so
+ * the comparison holds on arbitrarily slow shared runners where an
+ * absolute threshold would not).
+ */
+double
+runProbeCell(unsigned assoc, double budget_ms)
+{
+    nic::NicTimings timings;
+    core::SharedUtlbCache cache(core::CacheConfig{1024, assoc, true},
+                                timings);
+    constexpr std::uint64_t kSpan = 768;
+    for (mem::Vpn v = 0; v < kSpan; ++v)
+        cache.insert(1, v, v + 100, core::InsertMode::Demand);
+
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+    mem::Vpn vpn = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    double budget_ns = budget_ms * 1e6;
+    double ns = 0;
+    for (;;) {
+        for (int rep = 0; rep < 1024; ++rep) {
+            hits += cache.lookup(1, vpn).hit ? 1 : 0;
+            if (++vpn == kSpan)
+                vpn = 0;
+        }
+        probes += 1024;
+        ns = std::chrono::duration<double, std::nano>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+        if (ns >= budget_ns)
+            break;
+    }
+    if (hits == 0)
+        sim::fatal("probe_cost assoc %u: warm cache never hit",
+                   assoc);
+    return ns / static_cast<double>(probes);
+}
+
 } // namespace
 
 int
@@ -243,6 +287,17 @@ main()
                       sim::TextTable::num(speedup, 2) + "x", "", ""});
         json.add({{"scenario", sc.name}, {"mode", "speedup"}},
                  {{"speedup", speedup}});
+    }
+
+    // Probe-cost microcells: the packed set probe in isolation.
+    for (unsigned assoc : {1u, 2u, 4u}) {
+        double nsProbe = runProbeCell(assoc, ms);
+        std::string mode = "assoc" + std::to_string(assoc);
+        table.addRow({"probe_cost", mode, "",
+                      sim::TextTable::num(nsProbe, 1), ""});
+        json.add({{"scenario", "probe_cost"}, {"mode", mode}},
+                 {{"assoc", static_cast<double>(assoc)},
+                  {"ns_per_probe", nsProbe}});
     }
 
     // Multi-thread scaling cell: the warm sweep with 1/2/4 workers

@@ -13,7 +13,17 @@ annotations cannot express:
                          stores, no RMWs, no member writes, no
                          stronger memory orders, no unprotected
                          reads of the seqlock-paired fields
-                         (valid/pid/vpn/pfn).
+                         (valid/pid/vpn/pfn), and no plain-load
+                         packed-probe kernels
+                         (probePacked<DirectLoads> / simd::matchWays
+                         issue non-atomic loads). A function whose
+                         body carries a
+                         `// utlb-lint: seqlock-read-helper` marker
+                         is held to the same purity rules over its
+                         whole body: such helpers (e.g. the
+                         RelaxedLoads policy in shared_cache.cpp)
+                         run inside callers' read sections the
+                         scanner cannot see across.
 
   mt-shard-discipline    Methods named `*MT` are the concurrent hot
                          path: statistics move only through the
@@ -81,6 +91,7 @@ CONTROL_KEYWORDS = {
 }
 
 ALLOW_RE = re.compile(r"utlb-lint:\s*allow\(([\w\-, ]+)\)")
+HELPER_RE = re.compile(r"utlb-lint:\s*seqlock-read-helper\b")
 EXPECT_RE = re.compile(r"utlb-lint-expect:\s*([\w\-]+)")
 
 
@@ -102,6 +113,7 @@ def strip_comments_and_strings(text):
     out = []
     allows = {}   # line (1-based) -> set of allowed rules
     expects = []  # rules named by utlb-lint-expect comments
+    helpers = []  # lines carrying the seqlock-read-helper marker
     i, n = 0, len(text)
     line = 1
     state = "code"  # code | line_comment | block_comment | dq | sq
@@ -145,6 +157,8 @@ def strip_comments_and_strings(text):
                     allows.setdefault(line, set()).update(
                         r.strip() for r in m.group(1).split(","))
                 expects.extend(EXPECT_RE.findall(comment))
+                if HELPER_RE.search(comment):
+                    helpers.append(line)
                 comment_buf = []
             if ended:
                 state = "code"
@@ -183,7 +197,9 @@ def strip_comments_and_strings(text):
             allows.setdefault(line, set()).update(
                 r.strip() for r in m.group(1).split(","))
         expects.extend(EXPECT_RE.findall(comment))
-    return "".join(out), allows, expects
+        if HELPER_RE.search(comment):
+            helpers.append(line)
+    return "".join(out), allows, expects, helpers
 
 
 FUNC_NAME_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\($")
@@ -275,6 +291,8 @@ NONRELAXED_ORDER_RE = re.compile(
     r"memory_order_(?:acquire|release|acq_rel|seq_cst|consume)")
 PROTECTED_READ_RE = re.compile(
     r"[\w\)\]]+(?:\.|->)(?:valid|pid|vpn|pfn)\b")
+DIRECT_PROBE_RE = re.compile(
+    r"\bprobePacked\s*<\s*DirectLoads\b|\bsimd::matchWays\s*\(")
 READBEGIN_RE = re.compile(r"=\s*[\w\.\->\[\]]*[\w\]]\s*\.readBegin\s*\(")
 READRETRY_RE = re.compile(r"(?:\.|->)readRetry\s*\(")
 
@@ -295,9 +313,31 @@ DISCARDED_TRYLOCK_RE = re.compile(
 
 
 def lint_file(path, rel, text, force_src=False):
-    code, allows, _ = strip_comments_and_strings(text)
+    code, allows, _, helper_lines = strip_comments_and_strings(text)
     lines = code.split("\n")
     func_of = function_of_lines(code)
+    # A seqlock-read-helper marker subjects the whole enclosing
+    # function to read-section purity (the helper runs inside a
+    # caller's read section this scanner cannot track across). The
+    # scope is the contiguous run of lines mapped to the marker's
+    # function -- by span, not by name, so an unmarked function that
+    # happens to share the name (DirectLoads vs RelaxedLoads policy
+    # methods) is not swept in. A marker outside any recognized
+    # function covers its own line.
+    helper_scope = set()
+    nlines = len(lines)
+    for l in helper_lines:
+        f = func_of.get(l)
+        if f is None:
+            helper_scope.add(l)
+            continue
+        lo = l
+        while lo > 1 and func_of.get(lo - 1) == f:
+            lo -= 1
+        hi = l
+        while hi < nlines and func_of.get(hi + 1) == f:
+            hi += 1
+        helper_scope.update(range(lo, hi + 1))
     in_src = force_src or rel.replace(os.sep, "/").startswith("src/")
     is_guard_impl = rel in GUARD_IMPL_FILES and not force_src
     findings = []
@@ -321,10 +361,18 @@ def lint_file(path, rel, text, force_src=False):
             if READBEGIN_RE.search(text_line):
                 in_section = True
                 section_func = func
-            continue
-        if READRETRY_RE.search(text_line):
+                continue
+            if lineno not in helper_scope:
+                continue
+        if in_section and READRETRY_RE.search(text_line):
             in_section = False
             continue
+        if DIRECT_PROBE_RE.search(text_line):
+            report(lineno, "seqlock-read-section",
+                   "plain-load packed probe inside a seqlock read "
+                   "section; DirectLoads/simd::matchWays issue "
+                   "non-atomic loads -- optimistic readers go "
+                   "through RelaxedLoads")
         if STOREISH_CALL_RE.search(text_line):
             report(lineno, "seqlock-read-section",
                    "store/RMW inside an optimistic seqlock read "
@@ -474,7 +522,7 @@ def run_self_test(fixture_dir):
     for path in fixtures:
         with open(path) as f:
             text = f.read()
-        _, _, expects = strip_comments_and_strings(text)
+        _, _, expects, _ = strip_comments_and_strings(text)
         rel = os.path.basename(path)
         if not expects:
             print("FAIL %s: fixture declares no utlb-lint-expect "

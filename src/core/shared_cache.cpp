@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 
 #include "check/audit.hpp"
 #include "check/check.hpp"
@@ -29,13 +30,14 @@ processOffset(ProcId pid)
 }
 
 /**
- * Relaxed atomic access to the seqlock-protected line fields (valid,
- * pid, vpn, pfn). Optimistic readers and the stripe-locked writers
- * both go through these, so every racing access is atomic — the
- * seqlock version only has to make torn snapshots *detectable*, and
- * ThreadSanitizer sees no data race. lastUse is deliberately not
- * covered: recency stamps are only ever touched under the stripe
- * lock (or at quiescence) and never read optimistically.
+ * Relaxed atomic access to the seqlock-protected packed fields (tag
+ * words and the cold pid/vpn/pfn). Optimistic readers and the
+ * stripe-locked writers both go through these, so every racing
+ * access is atomic — the seqlock version only has to make torn
+ * snapshots *detectable*, and ThreadSanitizer sees no data race.
+ * lastUse is deliberately not covered: recency stamps are only ever
+ * touched under the stripe lock (or at quiescence) and never read
+ * optimistically.
  */
 template <class T>
 T
@@ -51,6 +53,72 @@ storeRelaxed(T &field, T value)
     std::atomic_ref<T>(field).store(value, std::memory_order_relaxed);
 }
 
+/**
+ * @name Load policies for the shared packed-probe helper
+ *
+ * probePacked() is the single way-scan authority; these policies are
+ * the only thing that differs between the sequential and seqlock
+ * read paths. DirectLoads issues plain loads and the SIMD tag
+ * compare — legal only single-threaded or under the set's stripe
+ * lock. RelaxedLoads issues relaxed atomic loads exclusively, the
+ * contract for code running inside a seqlock read section
+ * (scripts/concurrency_lint.py checks the marked helpers).
+ * @{
+ */
+struct DirectLoads {
+    static unsigned matchMask(std::uint64_t *tags, unsigned n,
+                              std::uint64_t key)
+    {
+        return simd::matchWays(tags, n, key);
+    }
+    template <class C>
+    static ProcId pid(C &c)
+    {
+        return c.pid;
+    }
+    template <class C>
+    static Vpn vpn(C &c)
+    {
+        return c.vpn;
+    }
+    template <class C>
+    static Pfn pfn(C &c)
+    {
+        return c.pfn;
+    }
+};
+
+struct RelaxedLoads {
+    static unsigned matchMask(std::uint64_t *tags, unsigned n,
+                              std::uint64_t key)
+    {
+        // utlb-lint: seqlock-read-helper
+        unsigned mask = 0;
+        for (unsigned w = 0; w < n; ++w)
+            mask |= (loadRelaxed(tags[w]) == key ? 1u : 0u) << w;
+        return mask;
+    }
+    template <class C>
+    static ProcId pid(C &c)
+    {
+        // utlb-lint: seqlock-read-helper
+        return loadRelaxed(c.pid);
+    }
+    template <class C>
+    static Vpn vpn(C &c)
+    {
+        // utlb-lint: seqlock-read-helper
+        return loadRelaxed(c.vpn);
+    }
+    template <class C>
+    static Pfn pfn(C &c)
+    {
+        // utlb-lint: seqlock-read-helper
+        return loadRelaxed(c.pfn);
+    }
+};
+/** @} */
+
 } // namespace
 
 SharedUtlbCache::SharedUtlbCache(const CacheConfig &cfg,
@@ -64,7 +132,9 @@ SharedUtlbCache::SharedUtlbCache(const CacheConfig &cfg,
         fatal("cache entries (%zu) not divisible by assoc (%u)",
               config.entries, config.assoc);
     numSets = config.entries / config.assoc;
-    lines.resize(config.entries);
+    setsMask = (numSets & (numSets - 1)) == 0 ? numSets - 1 : 0;
+    tagWords.assign(config.entries + simd::kTagPadWords, 0);
+    cold.assign(config.entries, Cold{});
 
     if (board_sram) {
         // 4 bytes per line, matching "32 KB (or 8 K entries)" (§4.2).
@@ -81,49 +151,61 @@ SharedUtlbCache::setIndex(ProcId pid, Vpn vpn) const
     std::uint64_t key = vpn;
     if (config.indexOffsetting)
         key += processOffset(pid);
+    // Same result either way; the mask dodges a 64-bit divide on the
+    // hottest instruction of the probe path.
+    if (setsMask)
+        return static_cast<std::size_t>(key & setsMask);
     return static_cast<std::size_t>(key % numSets);
 }
 
-SharedUtlbCache::Line *
-SharedUtlbCache::findLine(ProcId pid, Vpn vpn, unsigned *probes)
+template <class Loads>
+unsigned
+SharedUtlbCache::probePacked(std::size_t set, ProcId pid, Vpn vpn,
+                             std::uint64_t key, unsigned &way,
+                             Pfn &pfn)
 {
-    std::size_t set = setIndex(pid, vpn);
-    Line *base = &lines[set * config.assoc];
-    for (unsigned w = 0; w < config.assoc; ++w) {
-        if (probes)
-            *probes = w + 1;
-        Line &line = base[w];
-        if (line.valid && line.pid == pid && line.vpn == vpn)
-            return &line;
+    const std::size_t base = set * config.assoc;
+    unsigned mask = Loads::matchMask(&tagWords[base], config.assoc,
+                                     key);
+    // The packed key is a filter; the cold (pid, vpn) pair is the
+    // authority. Confirming candidates in way order rejects a key
+    // collision and moves on, so the hit way — and with it the probe
+    // count, modeled cost, and LRU stamp — is exactly what a full
+    // per-way tag scan would produce.
+    while (mask != 0) {
+        unsigned w = static_cast<unsigned>(std::countr_zero(mask));
+        Cold &c = cold[base + w];
+        if (Loads::pid(c) == pid && Loads::vpn(c) == vpn) {
+            way = w;
+            pfn = Loads::pfn(c);
+            return w + 1;
+        }
+        mask &= mask - 1;
     }
-    if (probes)
-        *probes = config.assoc;
-    return nullptr;
-}
-
-const SharedUtlbCache::Line *
-SharedUtlbCache::findLine(ProcId pid, Vpn vpn) const
-{
-    return const_cast<SharedUtlbCache *>(this)->findLine(pid, vpn,
-                                                         nullptr);
+    way = config.assoc;
+    return config.assoc;
 }
 
 CacheProbe
 SharedUtlbCache::lookup(ProcId pid, Vpn vpn)
 {
     CacheProbe probe;
-    unsigned probes = 0;
-    Line *line = findLine(pid, vpn, &probes);
+    std::size_t set = setIndex(pid, vpn);
+    unsigned way = config.assoc;
+    Pfn pfn = mem::kInvalidPfn;
+    unsigned probes = probePacked<DirectLoads>(set, pid, vpn,
+                                               tagKey(pid, vpn), way,
+                                               pfn);
     // The firmware probes ways sequentially (§6.3); the first probe
     // is the published constant hit cost, each further way adds
     // perWayProbeCost.
     probe.cost = timings->cacheHitCost
         + Tick{probes > 0 ? probes - 1 : 0} * timings->perWayProbeCost;
     statProbeLatency.sample(sim::ticksToUs(probe.cost));
-    if (line) {
+    if (way != config.assoc) {
         probe.hit = true;
-        probe.pfn = line->pfn;
-        line->lastUse = ++useClock;
+        probe.pfn = pfn;
+        cold[set * config.assoc + way].lastUse = ++useClock;
         ++statHits;
     } else {
         ++statMisses;
@@ -146,18 +228,22 @@ SharedUtlbCache::lookupRun(ProcId pid, Vpn start, std::size_t n,
     out.perHitCost = timings->cacheHitCost;
 
     // Consecutive vpns map to consecutive sets (the index is a sum
-    // modulo numSets), so the run walks the line array with an
-    // increment instead of re-hashing every page.
+    // modulo numSets), so the run walks the packed arrays with an
+    // increment instead of re-hashing every page; with assoc == 1
+    // the way index is the set index.
     std::size_t set = setIndex(pid, start);
     std::size_t i = 0;
     for (; i < n; ++i) {
-        Line &line = lines[set];
-        if (!(line.valid && line.pid == pid && line.vpn == start + i))
+        Cold &c = cold[set];
+        if (tagWords[set] != tagKey(pid, start + i) || c.pid != pid
+            || c.vpn != start + i)
             break;  // first miss: record nothing, caller re-probes
-        line.lastUse = ++useClock;
-        pfns[i] = line.pfn;
-        if (i == 0 && first_hit)
-            first_hit->line = &line;
+        c.lastUse = ++useClock;
+        pfns[i] = c.pfn;
+        if (i == 0 && first_hit) {
+            first_hit->set = static_cast<std::uint32_t>(set);
+            first_hit->way = 0;
+        }
         if (++set == numSets)
             set = 0;
     }
@@ -175,20 +261,25 @@ bool
 SharedUtlbCache::hitViaRef(LineRef &ref, ProcId pid, Vpn vpn,
                            CacheProbe &out)
 {
-    Line *line = ref.line;
-    if (!line || !line->valid || line->pid != pid || line->vpn != vpn)
+    if (ref.way == LineRef::kNoWay)
+        return false;
+    std::size_t idx =
+        std::size_t{ref.set} * config.assoc + ref.way;
+    Cold &c = cold[idx];
+    // Revalidate the packed word first (0 = reclaimed), then the
+    // full tags: any churn since the mint is a clean miss.
+    if (tagWords[idx] != tagKey(pid, vpn) || c.pid != pid
+        || c.vpn != vpn)
         return false;
     // A ref pins the exact way that served the original hit (for
     // refs minted by lookupRun, always way 0 of a direct-mapped
     // set), so the modeled firmware re-probe charges that way's
     // probe depth.
-    auto way = static_cast<unsigned>(
-        static_cast<std::size_t>(line - lines.data()) % config.assoc);
     out.hit = true;
-    out.pfn = line->pfn;
+    out.pfn = c.pfn;
     out.cost = timings->cacheHitCost
-        + Tick{way} * timings->perWayProbeCost;
-    line->lastUse = ++useClock;
+        + Tick{ref.way} * timings->perWayProbeCost;
+    c.lastUse = ++useClock;
     ++statHits;
     statProbeLatency.sample(sim::ticksToUs(out.cost));
     return true;
@@ -244,26 +335,15 @@ SharedUtlbCache::nextStamp(Shard &sh)
 
 unsigned
 SharedUtlbCache::probeSetMT(std::size_t set, ProcId pid, Vpn vpn,
-                            unsigned &way, Pfn &pfn, Shard &sh)
+                            std::uint64_t key, unsigned &way,
+                            Pfn &pfn, Shard &sh)
 {
-    Line *base = &lines[set * config.assoc];
     sim::SeqCount &seq = seqs[set];
     for (unsigned attempt = 0; attempt < kSeqlockMaxRetries;
          ++attempt) {
         std::uint32_t v = seq.readBegin();
-        unsigned probes = config.assoc;
-        way = config.assoc;
-        for (unsigned w = 0; w < config.assoc; ++w) {
-            Line &line = base[w];
-            if (loadRelaxed(line.valid)
-                && loadRelaxed(line.pid) == pid
-                && loadRelaxed(line.vpn) == vpn) {
-                way = w;
-                probes = w + 1;
-                pfn = loadRelaxed(line.pfn);
-                break;
-            }
-        }
+        unsigned probes = probePacked<RelaxedLoads>(set, pid, vpn,
+                                                    key, way, pfn);
         if (!seq.readRetry(v))
             return probes;
         ++sh.seqRetries;
@@ -272,26 +352,15 @@ SharedUtlbCache::probeSetMT(std::size_t set, ProcId pid, Vpn vpn,
     // spinning forever (the readers' progress guarantee). Under it
     // the scan cannot race anything.
     sim::SpinGuard g(stripeOf(set));
-    return scanWaysLocked(set, pid, vpn, way, pfn);
+    return scanWaysLocked(set, pid, vpn, key, way, pfn);
 }
 
 unsigned
 SharedUtlbCache::scanWaysLocked(std::size_t set, ProcId pid, Vpn vpn,
-                                unsigned &way, Pfn &pfn)
+                                std::uint64_t key, unsigned &way,
+                                Pfn &pfn)
 {
-    Line *base = &lines[set * config.assoc];
-    unsigned probes = config.assoc;
-    way = config.assoc;
-    for (unsigned w = 0; w < config.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.pid == pid && line.vpn == vpn) {
-            way = w;
-            probes = w + 1;
-            pfn = line.pfn;
-            break;
-        }
-    }
-    return probes;
+    return probePacked<DirectLoads>(set, pid, vpn, key, way, pfn);
 }
 
 void
@@ -306,12 +375,16 @@ void
 SharedUtlbCache::stampLineLocked(std::size_t set, unsigned way,
                                  ProcId pid, Vpn vpn, Shard &sh)
 {
-    Line &line = lines[set * config.assoc + way];
+    std::size_t idx = set * config.assoc + way;
+    Cold &c = cold[idx];
     // If a writer reclaimed the way since the optimistic read, the
     // (already-consistent) hit simply leaves no recency mark — a
-    // stamp here would resurrect a dead or foreign line.
-    if (line.valid && line.pid == pid && line.vpn == vpn)
-        line.lastUse = nextStamp(sh);
+    // stamp here would resurrect a dead or foreign way. The tag word
+    // distinguishes "same tags, still live" from "killed, cold tags
+    // stale".
+    if (tagWords[idx] == tagKey(pid, vpn) && c.pid == pid
+        && c.vpn == vpn)
+        c.lastUse = nextStamp(sh);
 }
 
 CacheProbe
@@ -321,7 +394,8 @@ SharedUtlbCache::lookupMT(ProcId pid, Vpn vpn, Shard &sh)
     std::size_t set = setIndex(pid, vpn);
     unsigned way = config.assoc;
     Pfn pfn = mem::kInvalidPfn;
-    unsigned probes = probeSetMT(set, pid, vpn, way, pfn, sh);
+    unsigned probes = probeSetMT(set, pid, vpn, tagKey(pid, vpn), way,
+                                 pfn, sh);
     // Same firmware model as lookup(): the first way probed is the
     // published constant hit cost, each further way adds
     // perWayProbeCost (§6.3).
@@ -369,7 +443,8 @@ SharedUtlbCache::lookupRunMT(ProcId pid, Vpn start, std::size_t n,
         for (; i < n && set < stripe_end; ++set, ++i) {
             unsigned way = 1;
             Pfn pfn = mem::kInvalidPfn;
-            probeSetMT(set, pid, start + i, way, pfn, sh);
+            probeSetMT(set, pid, start + i, tagKey(pid, start + i),
+                       way, pfn, sh);
             if (way == config.assoc) {
                 missed = true;  // record nothing, caller re-probes
                 break;
@@ -380,19 +455,24 @@ SharedUtlbCache::lookupRunMT(ProcId pid, Vpn start, std::size_t n,
         if (hitsHere > 0) {
             sim::SpinGuard g(stripeOf(windowSet));
             for (std::size_t k = 0; k < hitsHere; ++k) {
-                Line &line = lines[windowSet + k];
+                // assoc == 1: way index == set index.
+                std::size_t idx = windowSet + k;
+                Cold &c = cold[idx];
+                Vpn v = start + windowI + k;
                 // Re-validate: a concurrent writer may have
                 // reclaimed the way since the optimistic read, and
                 // a skipped stamp is the only correct outcome then.
-                if (line.valid && line.pid == pid
-                    && line.vpn == start + windowI + k)
-                    line.lastUse = nextStamp(sh);
+                if (tagWords[idx] == tagKey(pid, v) && c.pid == pid
+                    && c.vpn == v)
+                    c.lastUse = nextStamp(sh);
             }
             if (windowI == 0 && first_hit) {
                 // Mint the ref under the stripe lock: the version
                 // recorded here is even and stays authoritative for
                 // hitViaRefMT until the next tag write in the set.
-                first_hit->line = &lines[windowSet];
+                first_hit->set =
+                    static_cast<std::uint32_t>(windowSet);
+                first_hit->way = 0;
                 first_hit->version = seqs[windowSet].value();
             }
         }
@@ -413,12 +493,10 @@ bool
 SharedUtlbCache::hitViaRefMT(LineRef &ref, ProcId pid, Vpn vpn,
                              CacheProbe &out, Shard &sh)
 {
-    Line *line = ref.line;
-    if (!line)
+    if (ref.way == LineRef::kNoWay)
         return false;
-    std::size_t idx = static_cast<std::size_t>(line - lines.data());
-    std::size_t set = idx / config.assoc;
-    auto way = static_cast<unsigned>(idx % config.assoc);
+    std::size_t set = ref.set;
+    std::size_t idx = std::size_t{ref.set} * config.assoc + ref.way;
     sim::SpinGuard g(stripeOf(set));
     // Version guard: the set must not have seen a single tag write
     // since the ref was minted, or the way may have been reclaimed
@@ -426,16 +504,18 @@ SharedUtlbCache::hitViaRefMT(LineRef &ref, ProcId pid, Vpn vpn,
     // clean miss and the caller re-probes.
     if (seqs[set].value() != ref.version)
         return false;
-    if (!line->valid || line->pid != pid || line->vpn != vpn)
+    Cold &c = cold[idx];
+    if (tagWords[idx] != tagKey(pid, vpn) || c.pid != pid
+        || c.vpn != vpn)
         return false;
     out.hit = true;
-    out.pfn = line->pfn;
+    out.pfn = c.pfn;
     // The ref pins the exact way that served the original hit, so
     // the modeled re-probe charges that way's probe depth (way 0 —
     // the only minted way today — is the constant hit cost).
     out.cost = timings->cacheHitCost
-        + Tick{way} * timings->perWayProbeCost;
-    line->lastUse = nextStamp(sh);
+        + Tick{ref.way} * timings->perWayProbeCost;
+    c.lastUse = nextStamp(sh);
     ++sh.hits;
     sh.probeLatency.sample(sim::ticksToUs(out.cost));
     return true;
@@ -447,7 +527,8 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
 {
     ++sh.inserts;
     std::size_t set = setIndex(pid, vpn);
-    Line *base = &lines[set * config.assoc];
+    std::size_t base = set * config.assoc;
+    std::uint64_t key = tagKey(pid, vpn);
     sim::SeqCount &seq = seqs[set];
     sim::SpinGuard g(stripeOf(set));
 
@@ -455,29 +536,32 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
     // leave recency alone (§6.4), exactly as insert(). Only the pfn
     // store needs the version bump — the tags are unchanged.
     for (unsigned w = 0; w < config.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.pid == pid && line.vpn == vpn) {
+        Cold &c = cold[base + w];
+        if (tagWords[base + w] == key && c.pid == pid
+            && c.vpn == vpn) {
             seq.writeBegin();
-            storeRelaxed(line.pfn, pfn);
+            storeRelaxed(c.pfn, pfn);
             seq.writeEnd();
             if (mode == InsertMode::Demand)
-                line.lastUse = nextStamp(sh);
+                c.lastUse = nextStamp(sh);
             ++sh.refreshes;
             return std::nullopt;
         }
     }
 
-    // Fill an invalid way if one exists.
+    // Fill an invalid way if one exists. The tag word is published
+    // last inside the write section: an optimistic reader either
+    // sees 0 (way still dead) or retries on the version bump.
     for (unsigned w = 0; w < config.assoc; ++w) {
-        Line &line = base[w];
-        if (!line.valid) {
+        if (tagWords[base + w] == 0) {
+            Cold &c = cold[base + w];
             seq.writeBegin();
-            storeRelaxed(line.pid, pid);
-            storeRelaxed(line.vpn, vpn);
-            storeRelaxed(line.pfn, pfn);
-            storeRelaxed(line.valid, true);
+            storeRelaxed(c.pid, pid);
+            storeRelaxed(c.vpn, vpn);
+            storeRelaxed(c.pfn, pfn);
+            storeRelaxed(tagWords[base + w], key);
             seq.writeEnd();
-            line.lastUse = nextStamp(sh);
+            c.lastUse = nextStamp(sh);
             return std::nullopt;
         }
     }
@@ -485,19 +569,20 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
     // Evict the LRU way; stamps are stable under the stripe lock,
     // so the victim scan matches insert()'s decision bit-for-bit
     // with a single worker.
-    Line *victim = base;
+    unsigned vw = 0;
     for (unsigned w = 1; w < config.assoc; ++w) {
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (cold[base + w].lastUse < cold[base + vw].lastUse)
+            vw = w;
     }
-    EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
+    Cold &victim = cold[base + vw];
+    EvictedEntry out{victim.pid, victim.vpn, victim.pfn};
     seq.writeBegin();
-    storeRelaxed(victim->pid, pid);
-    storeRelaxed(victim->vpn, vpn);
-    storeRelaxed(victim->pfn, pfn);
-    storeRelaxed(victim->valid, true);
+    storeRelaxed(victim.pid, pid);
+    storeRelaxed(victim.vpn, vpn);
+    storeRelaxed(victim.pfn, pfn);
+    storeRelaxed(tagWords[base + vw], key);
     seq.writeEnd();
-    victim->lastUse = nextStamp(sh);
+    victim.lastUse = nextStamp(sh);
     ++sh.evictions;
     return out;
 }
@@ -505,20 +590,27 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
 std::optional<Pfn>
 SharedUtlbCache::peek(ProcId pid, Vpn vpn) const
 {
-    const Line *line = findLine(pid, vpn);
-    if (!line)
+    auto *self = const_cast<SharedUtlbCache *>(this);
+    std::size_t set = setIndex(pid, vpn);
+    unsigned way = config.assoc;
+    Pfn pfn = mem::kInvalidPfn;
+    self->probePacked<DirectLoads>(set, pid, vpn, tagKey(pid, vpn),
+                                   way, pfn);
+    if (way == config.assoc)
         return std::nullopt;
-    return line->pfn;
+    return pfn;
 }
 
 void
-SharedUtlbCache::killLine(Line &line)
+SharedUtlbCache::killWay(std::size_t idx)
 {
-    // A dead line must not retain a recency stamp: the next insert
+    // A dead way must not retain a recency stamp: the next insert
     // reuses the way with a fresh stamp, and the audit relies on
-    // invalid lines being fully scrubbed.
-    line.valid = false;
-    line.lastUse = 0;
+    // invalid ways being fully scrubbed. The cold (pid, vpn, pfn)
+    // may go stale — the zeroed tag word is the single validity
+    // authority.
+    tagWords[idx] = 0;
+    cold[idx].lastUse = 0;
 }
 
 std::optional<EvictedEntry>
@@ -526,18 +618,20 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
 {
     ++statInserts;
     std::size_t set = setIndex(pid, vpn);
-    Line *base = &lines[set * config.assoc];
+    std::size_t base = set * config.assoc;
+    std::uint64_t key = tagKey(pid, vpn);
 
     // Re-insert over an existing entry (refresh). A prefetch refresh
     // updates the translation but not the recency: the NIC never
     // referenced this page, so promoting it would pollute the LRU
     // order of the set (§6.4).
     for (unsigned w = 0; w < config.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.pid == pid && line.vpn == vpn) {
-            line.pfn = pfn;
+        Cold &c = cold[base + w];
+        if (tagWords[base + w] == key && c.pid == pid
+            && c.vpn == vpn) {
+            c.pfn = pfn;
             if (mode == InsertMode::Demand)
-                line.lastUse = ++useClock;
+                c.lastUse = ++useClock;
             ++statRefreshes;
             return std::nullopt;
         }
@@ -545,21 +639,23 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
 
     // Fill an invalid way if one exists.
     for (unsigned w = 0; w < config.assoc; ++w) {
-        Line &line = base[w];
-        if (!line.valid) {
-            line = Line{true, pid, vpn, pfn, ++useClock};
+        if (tagWords[base + w] == 0) {
+            cold[base + w] = Cold{pid, pfn, vpn, ++useClock};
+            tagWords[base + w] = key;
             return std::nullopt;
         }
     }
 
     // Evict the LRU way.
-    Line *victim = base;
+    unsigned vw = 0;
     for (unsigned w = 1; w < config.assoc; ++w) {
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (cold[base + w].lastUse < cold[base + vw].lastUse)
+            vw = w;
     }
-    EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
-    *victim = Line{true, pid, vpn, pfn, ++useClock};
+    Cold &victim = cold[base + vw];
+    EvictedEntry out{victim.pid, victim.vpn, victim.pfn};
+    victim = Cold{pid, pfn, vpn, ++useClock};
+    tagWords[base + vw] = key;
     ++statEvictions;
     return out;
 }
@@ -567,6 +663,9 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
 bool
 SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
 {
+    std::size_t set = setIndex(pid, vpn);
+    std::size_t base = set * config.assoc;
+    std::uint64_t key = tagKey(pid, vpn);
     if (concurrent()) {
         // Unpin-path coherence drops race with other workers'
         // optimistic probes, so scan the ways under the stripe lock
@@ -574,19 +673,18 @@ SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
         // counter bump is a relaxed RMW since it can race
         // absorbShard() readers of sibling counters on the same
         // cache line.
-        std::size_t set = setIndex(pid, vpn);
         bool dropped = false;
         {
             sim::SpinGuard g(stripeOf(set));
-            Line *base = &lines[set * config.assoc];
             for (unsigned w = 0; w < config.assoc; ++w) {
-                Line &line = base[w];
-                if (line.valid && line.pid == pid
-                    && line.vpn == vpn) {
+                Cold &c = cold[base + w];
+                if (tagWords[base + w] == key && c.pid == pid
+                    && c.vpn == vpn) {
                     seqs[set].writeBegin();
-                    storeRelaxed(line.valid, false);
+                    storeRelaxed(tagWords[base + w],
+                                 std::uint64_t{0});
                     seqs[set].writeEnd();
-                    line.lastUse = 0;
+                    c.lastUse = 0;
                     dropped = true;
                     break;
                 }
@@ -596,10 +694,12 @@ SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
             statInvalidations.addRelaxed(1);
         return dropped;
     }
-    Line *line = findLine(pid, vpn, nullptr);
-    if (!line)
+    unsigned way = config.assoc;
+    Pfn pfn = mem::kInvalidPfn;
+    probePacked<DirectLoads>(set, pid, vpn, key, way, pfn);
+    if (way == config.assoc)
         return false;
-    killLine(*line);
+    killWay(base + way);
     ++statInvalidations;
     return true;
 }
@@ -607,17 +707,19 @@ SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
 std::optional<EvictedEntry>
 SharedUtlbCache::evictLruOfProcess(ProcId pid)
 {
-    Line *victim = nullptr;
-    for (Line &line : lines) {
-        if (!line.valid || line.pid != pid)
+    std::size_t victim = config.entries;
+    for (std::size_t idx = 0; idx < config.entries; ++idx) {
+        if (tagWords[idx] == 0 || cold[idx].pid != pid)
             continue;
-        if (!victim || line.lastUse < victim->lastUse)
-            victim = &line;
+        if (victim == config.entries
+            || cold[idx].lastUse < cold[victim].lastUse)
+            victim = idx;
     }
-    if (!victim)
+    if (victim == config.entries)
         return std::nullopt;
-    EvictedEntry out{victim->pid, victim->vpn, victim->pfn};
-    killLine(*victim);
+    EvictedEntry out{cold[victim].pid, cold[victim].vpn,
+                     cold[victim].pfn};
+    killWay(victim);
     ++statSheds;
     return out;
 }
@@ -626,9 +728,9 @@ std::size_t
 SharedUtlbCache::invalidateProcess(ProcId pid)
 {
     std::size_t count = 0;
-    for (Line &line : lines) {
-        if (line.valid && line.pid == pid) {
-            killLine(line);
+    for (std::size_t idx = 0; idx < config.entries; ++idx) {
+        if (tagWords[idx] != 0 && cold[idx].pid == pid) {
+            killWay(idx);
             ++count;
         }
     }
@@ -639,9 +741,9 @@ SharedUtlbCache::invalidateProcess(ProcId pid)
 void
 SharedUtlbCache::clear()
 {
-    for (Line &line : lines) {
-        if (line.valid) {
-            killLine(line);
+    for (std::size_t idx = 0; idx < config.entries; ++idx) {
+        if (tagWords[idx] != 0) {
+            killWay(idx);
             ++statClearDrops;
         }
     }
@@ -651,17 +753,22 @@ std::size_t
 SharedUtlbCache::validEntries() const
 {
     return static_cast<std::size_t>(
-        std::count_if(lines.begin(), lines.end(),
-                      [](const Line &l) { return l.valid; }));
+        std::count_if(tagWords.begin(),
+                      tagWords.begin()
+                          + static_cast<std::ptrdiff_t>(
+                              config.entries),
+                      [](std::uint64_t t) { return t != 0; }));
 }
 
 std::size_t
 SharedUtlbCache::occupancyOf(ProcId pid) const
 {
-    return static_cast<std::size_t>(std::count_if(
-        lines.begin(), lines.end(), [pid](const Line &l) {
-            return l.valid && l.pid == pid;
-        }));
+    std::size_t count = 0;
+    for (std::size_t idx = 0; idx < config.entries; ++idx) {
+        if (tagWords[idx] != 0 && cold[idx].pid == pid)
+            ++count;
+    }
+    return count;
 }
 
 void
@@ -669,49 +776,75 @@ SharedUtlbCache::audit(check::AuditReport &report) const
 {
     report.component("shared-cache");
     for (std::size_t set = 0; set < numSets; ++set) {
-        const Line *base = &lines[set * config.assoc];
+        const std::size_t base = set * config.assoc;
         for (unsigned w = 0; w < config.assoc; ++w) {
-            const Line &line = base[w];
-            if (!line.valid) {
-                // Dead lines must be fully scrubbed: a stale stamp
+            const Cold &c = cold[base + w];
+            if (tagWords[base + w] == 0) {
+                // Dead ways must be fully scrubbed: a stale stamp
                 // would silently distort LRU if ever trusted, and
-                // signals a removal path that bypassed killLine().
-                report.require(line.lastUse == 0,
-                               "dead line in way %u of set %zu "
+                // signals a removal path that bypassed killWay().
+                report.require(c.lastUse == 0,
+                               "dead way %u of set %zu "
                                "retains recency stamp %llu",
                                w, set,
                                static_cast<unsigned long long>(
-                                   line.lastUse));
+                                   c.lastUse));
                 continue;
             }
+            // Packed-tag coherence: the tag word must be exactly the
+            // key of the cold tags, or probes see a different entry
+            // than the one stored (an invisible line or a phantom
+            // candidate that the cold confirm then rejects).
+            report.require(tagWords[base + w] == tagKey(c.pid, c.vpn),
+                           "way %u of set %zu: packed tag word "
+                           "0x%llx does not match cold tags "
+                           "(pid %u, vpn %llu)",
+                           w, set,
+                           static_cast<unsigned long long>(
+                               tagWords[base + w]),
+                           c.pid,
+                           static_cast<unsigned long long>(c.vpn));
             // Tag/process-offset integrity: a line must live in the
             // set its (pid, vpn) hashes to, or lookups will silently
             // miss it (cross-process aliasing shows up the same way).
-            std::size_t home = setIndex(line.pid, line.vpn);
+            std::size_t home = setIndex(c.pid, c.vpn);
             report.require(home == set,
                            "line (pid %u, vpn %llu) stored in set %zu "
                            "but indexes to set %zu",
-                           line.pid,
-                           static_cast<unsigned long long>(line.vpn),
+                           c.pid,
+                           static_cast<unsigned long long>(c.vpn),
                            set, home);
-            report.require(line.lastUse <= useClock,
+            report.require(c.lastUse <= useClock,
                            "line (pid %u, vpn %llu) LRU stamp %llu is "
                            "ahead of the use clock %llu",
-                           line.pid,
-                           static_cast<unsigned long long>(line.vpn),
-                           static_cast<unsigned long long>(line.lastUse),
+                           c.pid,
+                           static_cast<unsigned long long>(c.vpn),
+                           static_cast<unsigned long long>(c.lastUse),
                            static_cast<unsigned long long>(useClock));
             for (unsigned w2 = w + 1; w2 < config.assoc; ++w2) {
-                const Line &dup = base[w2];
-                report.require(!dup.valid || dup.pid != line.pid
-                                   || dup.vpn != line.vpn,
+                const Cold &dup = cold[base + w2];
+                report.require(tagWords[base + w2] == 0
+                                   || dup.pid != c.pid
+                                   || dup.vpn != c.vpn,
                                "duplicate (pid %u, vpn %llu) in ways "
                                "%u and %u of set %zu",
-                               line.pid,
-                               static_cast<unsigned long long>(line.vpn),
+                               c.pid,
+                               static_cast<unsigned long long>(c.vpn),
                                w, w2, set);
             }
         }
+    }
+
+    // The SIMD overread padding must stay zero: a nonzero pad word
+    // can only come from an out-of-bounds write (the vector kernels
+    // mask pad lanes off, so this is a canary, not a correctness
+    // dependency).
+    for (std::size_t p = config.entries; p < tagWords.size(); ++p) {
+        report.require(tagWords[p] == 0,
+                       "SIMD overread pad word %zu is nonzero "
+                       "(0x%llx)",
+                       p - config.entries,
+                       static_cast<unsigned long long>(tagWords[p]));
     }
 
     // Removal-taxonomy conservation: every line present was installed

@@ -20,6 +20,14 @@
  * process tag per line and relies on the garbage page to absorb any
  * false hits. We store full tags, so a hit is always correct;
  * EXPERIMENTS.md discusses the (negligible) behavioural difference.
+ *
+ * Layout: structure-of-arrays. Each set's tag words (one 64-bit
+ * pid⊕vpn key per way, 0 = invalid) are packed contiguously and
+ * cache-line aligned so a whole-set probe — optionally SIMD
+ * (sim/simd.hpp) — touches a single 64-byte line; the frame, full
+ * tags, and LRU stamp live in a parallel cold array touched only
+ * once the tag mask names a candidate way. docs/performance.md has
+ * the byte-level diagram and the correctness argument.
  */
 
 #ifndef UTLB_CORE_SHARED_CACHE_HPP
@@ -36,6 +44,7 @@
 #include "nic/timing.hpp"
 #include "sim/annotations.hpp"
 #include "sim/mutex.hpp"
+#include "sim/simd.hpp"
 #include "sim/spinlock.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -118,15 +127,15 @@ class SharedUtlbCache
     /** Probe without updating state or counters. */
     std::optional<mem::Pfn> peek(mem::ProcId pid, mem::Vpn vpn) const;
 
-  private:
-    struct Line;
-
-  public:
     /**
-     * A stable handle to the line that served a hit, letting a
-     * repeat lookup of the same (pid, vpn) skip the probe. Obtained
-     * from lookupRun()/lookupRunMT(); becomes a guaranteed miss
-     * (never a wrong hit) if the line is since evicted or retagged.
+     * A stable handle to the way that served a hit, letting a
+     * repeat lookup of the same (pid, vpn) skip the probe. The ref
+     * is a (set, way) index pair into the packed arrays (way ==
+     * kNoWay means "no ref"). Obtained from
+     * lookupRun()/lookupRunMT(); becomes a guaranteed miss (never a
+     * wrong hit) if the way is since evicted or retagged — the
+     * re-probe revalidates the packed tag word and the full cold
+     * (pid, vpn) tags.
      *
      * In concurrent mode the ref also carries the set's seqlock
      * version from when it was minted: hitViaRefMT() honours the ref
@@ -137,7 +146,9 @@ class SharedUtlbCache
     class LineRef
     {
         friend class SharedUtlbCache;
-        Line *line = nullptr;
+        static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+        std::uint32_t set = 0;
+        std::uint32_t way = kNoWay;
         std::uint32_t version = 0;
     };
 
@@ -395,42 +406,81 @@ class SharedUtlbCache
     void resetStats();
 
     /**
-     * Invariant auditor: every valid line indexes to the set it
-     * lives in, no (pid, vpn) pair occupies two ways, no LRU stamp
-     * runs ahead of the use clock, dead lines carry no recency
-     * stamp, every seqlock version is even at quiescence (an odd
-     * one means a writer died mid-update and readers would spin),
-     * and the removal counters' taxonomy balances against the
-     * current occupancy (lines present = lines installed minus
-     * lines evicted/shed/invalidated/cleared since the last stats
-     * reset).
+     * Invariant auditor: every valid way's packed tag word equals
+     * tagKey() of its cold (pid, vpn) tags (a desynced word turns
+     * real entries invisible or resurrects dead ones), every valid
+     * way indexes to the set it lives in, no (pid, vpn) pair
+     * occupies two ways, no LRU stamp runs ahead of the use clock,
+     * dead ways carry no recency stamp, the SIMD overread padding is
+     * zero, every seqlock version is even at quiescence (an odd one
+     * means a writer died mid-update and readers would spin), and
+     * the removal counters' taxonomy balances against the current
+     * occupancy (lines present = lines installed minus lines
+     * evicted/shed/invalidated/cleared since the last stats reset).
      */
     void audit(check::AuditReport &report) const;
 
   private:
     friend struct check::TestTamper;
 
-    struct Line {
-        bool valid = false;
+    /**
+     * Per-way cold payload, parallel to the packed tag words: the
+     * full (pid, vpn) tags that make every hit exact (the packed key
+     * is only a filter), the frame, and the LRU stamp. 32 bytes, so
+     * two ways share a cache line — but the probe loop never touches
+     * it until the tag mask has already named a candidate way.
+     */
+    struct Cold {
         mem::ProcId pid = 0;
-        mem::Vpn vpn = 0;
         mem::Pfn pfn = mem::kInvalidPfn;
+        mem::Vpn vpn = 0;
         std::uint64_t lastUse = 0;
     };
 
-    Line *findLine(mem::ProcId pid, mem::Vpn vpn, unsigned *probes);
-    const Line *findLine(mem::ProcId pid, mem::Vpn vpn) const;
+    /**
+     * The packed tag word for (pid, vpn): a fixed multiplicative mix
+     * of both tags, forced odd so 0 never names a valid entry — a
+     * zero tag word IS the invalid-way state (there is no separate
+     * valid bit). Equal (pid, vpn) pairs always collide; unequal
+     * pairs collide with probability ~2^-63, and the cold-tag
+     * confirm in probePacked() makes even those collisions harmless
+     * (full-tag correctness, unlike the paper's lossy 8-bit tags).
+     */
+    static std::uint64_t tagKey(mem::ProcId pid, mem::Vpn vpn)
+    {
+        std::uint64_t k = (vpn * 0x9E3779B97F4A7C15ull)
+            ^ ((static_cast<std::uint64_t>(pid) + 1)
+               * 0xC2B2AE3D27D4EB4Full);
+        return k | 1;
+    }
+
+    /**
+     * The one way-scan authority both probe modes share: build the
+     * candidate mask from the packed tag words (Loads::matchMask —
+     * SIMD for the sequential/locked paths, relaxed atomic loads for
+     * the seqlock read path), then confirm candidates against the
+     * cold (pid, vpn) tags in way order. Returns the modeled probe
+     * count (hit way + 1, or assoc on a miss); on a hit sets @p way
+     * and @p pfn, on a miss leaves @p way == assoc. Because way
+     * selection and probe counting live here and nowhere else, the
+     * sequential and MT paths cannot drift.
+     */
+    template <class Loads>
+    unsigned probePacked(std::size_t set, mem::ProcId pid,
+                         mem::Vpn vpn, std::uint64_t key,
+                         unsigned &way, mem::Pfn &pfn);
 
     /**
      * Seqlock-validated scan of @p set's ways for (pid, vpn): reads
-     * the ways with relaxed atomics, retries on a torn version, and
-     * falls back to the stripe lock after kSeqlockMaxRetries torn
-     * reads. Returns the modeled probe count; on a hit sets @p way
-     * and @p pfn, on a miss leaves @p way == assoc.
+     * the packed words with relaxed atomics, retries on a torn
+     * version, and falls back to the stripe lock after
+     * kSeqlockMaxRetries torn reads. Returns the modeled probe
+     * count; on a hit sets @p way and @p pfn, on a miss leaves
+     * @p way == assoc.
      */
     unsigned probeSetMT(std::size_t set, mem::ProcId pid,
-                        mem::Vpn vpn, unsigned &way, mem::Pfn &pfn,
-                        Shard &sh);
+                        mem::Vpn vpn, std::uint64_t key,
+                        unsigned &way, mem::Pfn &pfn, Shard &sh);
 
     /**
      * The lock-based way scan probeSetMT falls back to when writers
@@ -439,7 +489,8 @@ class SharedUtlbCache
      * checked signature.
      */
     unsigned scanWaysLocked(std::size_t set, mem::ProcId pid,
-                            mem::Vpn vpn, unsigned &way, mem::Pfn &pfn)
+                            mem::Vpn vpn, std::uint64_t key,
+                            unsigned &way, mem::Pfn &pfn)
         UTLB_REQUIRES(stripeOf(set));
 
     /**
@@ -456,8 +507,8 @@ class SharedUtlbCache
                          mem::ProcId pid, mem::Vpn vpn, Shard &sh)
         UTLB_REQUIRES(stripeOf(set));
 
-    /** Invalidate a line, scrubbing its recency stamp. */
-    static void killLine(Line &line);
+    /** Invalidate a way, scrubbing its recency stamp. */
+    void killWay(std::size_t idx);
 
     /** Sets per lock stripe; a batched run re-locks this often. */
     static constexpr std::size_t kSetsPerStripeLog2 = 6;
@@ -477,7 +528,26 @@ class SharedUtlbCache
     CacheConfig config;
     const nic::NicTimings *timings;
     std::size_t numSets;
-    std::vector<Line> lines;  //!< numSets * assoc, set-major
+
+    /** numSets - 1 when numSets is a power of two, else 0; lets
+     *  setIndex() replace the modulo with a mask (same result). */
+    std::size_t setsMask = 0;
+
+    /**
+     * Packed tag words, set-major with stride assoc: one 64-bit key
+     * per way, 0 = invalid. The base is 64-byte aligned, so a set's
+     * whole tag block (8 x assoc bytes) sits in one cache line for
+     * any power-of-two assoc <= 8 and a full 4-way probe touches a
+     * single line. simd::kTagPadWords zero words trail the last set
+     * so the vector compares may overread.
+     */
+    std::vector<std::uint64_t,
+                simd::CacheAlignedAlloc<std::uint64_t>>
+        tagWords;
+
+    /** Cold per-way payload, parallel to tagWords (entries). */
+    std::vector<Cold> cold;
+
     std::uint64_t useClock = 0;
 
     /** Stripe locks; non-null only once enableConcurrent() ran. */

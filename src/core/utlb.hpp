@@ -34,6 +34,7 @@
 #include "core/pin_manager.hpp"
 #include "core/shared_cache.hpp"
 #include "nic/timing.hpp"
+#include "sim/small_vector.hpp"
 #include "sim/stats.hpp"
 #include "sim/tracer.hpp"
 
@@ -122,7 +123,10 @@ struct NicLookup {
 /** Full translation of a user buffer. */
 struct Translation {
     bool ok = true;
-    std::vector<mem::PhysAddr> pageAddrs;  //!< one per page
+    /** One physical address per page. Small-buffer storage: the
+     *  common short translations (single-page lookups especially)
+     *  stay heap-free. */
+    sim::SmallVector<mem::PhysAddr, 8> pageAddrs;
     sim::Tick hostCost = 0;
     sim::Tick nicCost = 0;
     sim::Tick pinCost = 0;        //!< portion of hostCost in pin ioctls
@@ -136,7 +140,7 @@ struct Translation {
     std::size_t faults = 0;
     /** Indices (page offsets in the buffer) that missed in the NIC
      *  cache, ascending. */
-    std::vector<std::uint32_t> missPages;
+    sim::SmallVector<std::uint32_t, 8> missPages;
 };
 
 /**

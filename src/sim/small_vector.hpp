@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Small-buffer vector for per-call translation results.
+ *
+ * Translation objects are built and destroyed once per translate()
+ * call, and in the dominant case (single-page lookups, short miss
+ * lists) their element counts are tiny. std::vector puts even a
+ * one-element pageAddrs on the heap, and the malloc/free pair is a
+ * measurable slice of the ~60 ns hit path. SmallVector keeps up to N
+ * elements inline in the object and only falls back to the heap
+ * beyond that, so the hot single-page path allocates nothing.
+ *
+ * Deliberately minimal: exactly the std::vector surface the
+ * translation paths use (push_back / resize / reserve / size /
+ * data / indexing / iteration / equality), restricted to trivially
+ * copyable element types so growth and copies are memcpy and the
+ * destructor never runs element destructors.
+ */
+
+#ifndef UTLB_SIM_SMALL_VECTOR_HPP
+#define UTLB_SIM_SMALL_VECTOR_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace utlb::sim {
+
+template <class T, std::size_t N>
+class SmallVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector supports trivially copyable types only");
+    static_assert(N > 0, "inline capacity must be nonzero");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVector() = default;
+
+    ~SmallVector() { delete[] heapBuf; }
+
+    SmallVector(const SmallVector &other) { assignFrom(other); }
+
+    SmallVector(SmallVector &&other) noexcept { moveFrom(other); }
+
+    SmallVector &operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            sz = 0;
+            assignFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVector &operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            delete[] heapBuf;
+            heapBuf = nullptr;
+            cap = N;
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    std::size_t size() const { return sz; }
+    bool empty() const { return sz == 0; }
+
+    T *data() { return heapBuf ? heapBuf : inlineBuf; }
+    const T *data() const { return heapBuf ? heapBuf : inlineBuf; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    iterator begin() { return data(); }
+    iterator end() { return data() + sz; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + sz; }
+
+    void clear() { sz = 0; }
+
+    void reserve(std::size_t n)
+    {
+        if (n > cap)
+            grow(n);
+    }
+
+    /** Like std::vector::resize: new elements are value-initialized. */
+    void resize(std::size_t n)
+    {
+        reserve(n);
+        if (n > sz)
+            std::memset(static_cast<void *>(data() + sz), 0,
+                        (n - sz) * sizeof(T));
+        sz = n;
+    }
+
+    // By value on purpose: T is small and trivially copyable, and a
+    // value parameter cannot alias storage that grow() frees.
+    void push_back(T v)
+    {
+        if (sz == cap)
+            grow(sz + 1);
+        data()[sz++] = v;
+    }
+
+    bool operator==(const SmallVector &other) const
+    {
+        return sz == other.sz
+            && std::equal(begin(), end(), other.begin());
+    }
+
+  private:
+    void grow(std::size_t need)
+    {
+        std::size_t newCap = std::max(need, cap * 2);
+        T *buf = new T[newCap];
+        std::memcpy(static_cast<void *>(buf), data(), sz * sizeof(T));
+        delete[] heapBuf;
+        heapBuf = buf;
+        cap = newCap;
+    }
+
+    void assignFrom(const SmallVector &other)
+    {
+        reserve(other.sz);
+        std::memcpy(static_cast<void *>(data()), other.data(),
+                    other.sz * sizeof(T));
+        sz = other.sz;
+    }
+
+    /** Steal the heap buffer, or memcpy the inline one. Leaves
+     *  @p other empty either way. */
+    void moveFrom(SmallVector &other) noexcept
+    {
+        if (other.heapBuf) {
+            heapBuf = other.heapBuf;
+            cap = other.cap;
+            other.heapBuf = nullptr;
+            other.cap = N;
+        } else {
+            std::memcpy(static_cast<void *>(inlineBuf),
+                        other.inlineBuf, other.sz * sizeof(T));
+        }
+        sz = other.sz;
+        other.sz = 0;
+    }
+
+    T inlineBuf[N];
+    T *heapBuf = nullptr;
+    std::size_t sz = 0;
+    std::size_t cap = N;
+};
+
+} // namespace utlb::sim
+
+#endif // UTLB_SIM_SMALL_VECTOR_HPP

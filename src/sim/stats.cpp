@@ -98,10 +98,7 @@ HistAccum::sample(double v)
         ++overflow;
         return;
     }
-    auto idx = static_cast<std::size_t>(v / bucketWidth);
-    if (idx >= counts.size())
-        idx = counts.size() - 1;
-    ++counts[idx];
+    ++counts[bucketOf(v)];
 }
 
 void
@@ -121,10 +118,7 @@ HistAccum::sampleN(double v, std::uint64_t n)
         overflow += n;
         return;
     }
-    auto idx = static_cast<std::size_t>(v / bucketWidth);
-    if (idx >= counts.size())
-        idx = counts.size() - 1;
-    counts[idx] += n;
+    counts[bucketOf(v)] += n;
 }
 
 void

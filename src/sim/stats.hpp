@@ -154,6 +154,28 @@ struct HistAccum {
     double sum = 0.0;
     double minVal = 0.0;
     double maxVal = 0.0;
+
+    /**
+     * Memoized bucket of the last in-range value sampled: hot paths
+     * sample the same modeled cost over and over, and the divide is
+     * most of sample()'s cost. Pure cache — identical bucket either
+     * way — so the bit-exact absorb()/sampleN() contracts are
+     * unaffected.
+     */
+    double lastVal = -1.0;   // negatives always go to overflow
+    std::size_t lastIdx = 0;
+
+    std::size_t bucketOf(double v)
+    {
+        if (v == lastVal)
+            return lastIdx;
+        auto idx = static_cast<std::size_t>(v / bucketWidth);
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        lastVal = v;
+        lastIdx = idx;
+        return idx;
+    }
 };
 
 /**

@@ -256,7 +256,7 @@ struct ResultRecord {
           nicCost(t.nicCost), pinCost(t.pinCost),
           unpinCost(t.unpinCost), niMisses(t.niMisses),
           pagesPinned(t.pagesPinned), pagesUnpinned(t.pagesUnpinned),
-          missPages(t.missPages)
+          missPages(t.missPages.begin(), t.missPages.end())
     {}
 
     bool

@@ -68,20 +68,24 @@ struct TestTamper {
         ++t.numValid;
     }
 
-    /** Move a valid cache line's tag so it indexes to another set. */
+    /** Move a valid cache way's tags so it indexes to another set.
+     *  The packed tag word is retagged along with the cold vpn so
+     *  only the home-set invariant fires, not tag/cold coherence. */
     static bool
     misplaceCacheLine(core::SharedUtlbCache &c)
     {
         for (std::size_t set = 0; set < c.numSets; ++set) {
             for (unsigned w = 0; w < c.config.assoc; ++w) {
-                core::SharedUtlbCache::Line &line =
-                    c.lines[set * c.config.assoc + w];
-                if (!line.valid)
+                std::size_t idx = set * c.config.assoc + w;
+                if (c.tagWords[idx] == 0)
                     continue;
+                auto &cw = c.cold[idx];
                 for (mem::Vpn delta = 1; delta < 64; ++delta) {
-                    if (c.setIndex(line.pid, line.vpn + delta)
-                        != set) {
-                        line.vpn += delta;
+                    if (c.setIndex(cw.pid, cw.vpn + delta) != set) {
+                        cw.vpn += delta;
+                        c.tagWords[idx] =
+                            core::SharedUtlbCache::tagKey(cw.pid,
+                                                          cw.vpn);
                         return true;
                     }
                 }
@@ -90,17 +94,40 @@ struct TestTamper {
         return false;
     }
 
-    /** Leave a recency stamp on a dead (invalid) cache line. */
+    /** Corrupt a valid way's packed tag word so it no longer matches
+     *  its cold (pid, vpn) tags (tag/cold coherence violation). */
     static bool
-    stampDeadLine(core::SharedUtlbCache &c)
+    desyncTagWord(core::SharedUtlbCache &c)
     {
-        for (auto &line : c.lines) {
-            if (!line.valid) {
-                line.lastUse = 1;
+        for (std::size_t idx = 0; idx < c.config.entries; ++idx) {
+            if (c.tagWords[idx] != 0) {
+                // Flip a middle bit: stays nonzero (still "valid"),
+                // no longer the key of the cold tags.
+                c.tagWords[idx] ^= std::uint64_t{1} << 17;
                 return true;
             }
         }
         return false;
+    }
+
+    /** Leave a recency stamp on a dead (invalid) cache way. */
+    static bool
+    stampDeadLine(core::SharedUtlbCache &c)
+    {
+        for (std::size_t idx = 0; idx < c.config.entries; ++idx) {
+            if (c.tagWords[idx] == 0) {
+                c.cold[idx].lastUse = 1;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Scribble on the SIMD overread padding after the last set. */
+    static void
+    scribblePadWord(core::SharedUtlbCache &c)
+    {
+        c.tagWords[c.config.entries] = 0xdeadbeefull;
     }
 
     /** Leave set 0's seqlock version odd (unclosed write section). */
@@ -305,6 +332,42 @@ TEST(SharedCacheAudit, CatchesMisplacedLine)
     ASSERT_TRUE(before.ok());
 
     ASSERT_TRUE(check::TestTamper::misplaceCacheLine(cache));
+    check::AuditReport after;
+    cache.audit(after);
+    EXPECT_FALSE(after.ok());
+    EXPECT_GE(after.countFor("shared-cache"), 1u);
+}
+
+TEST(SharedCacheAudit, CatchesDesyncedTagWord)
+{
+    NicTimings timings;
+    SharedUtlbCache cache(CacheConfig{64, 4, true}, timings);
+    for (mem::ProcId pid = 1; pid <= 3; ++pid)
+        for (Vpn v = 0; v < 20; ++v)
+            cache.insert(pid, v, 1000 + v);
+
+    check::AuditReport before;
+    cache.audit(before);
+    ASSERT_TRUE(before.ok());
+
+    ASSERT_TRUE(check::TestTamper::desyncTagWord(cache));
+    check::AuditReport after;
+    cache.audit(after);
+    EXPECT_FALSE(after.ok());
+    EXPECT_GE(after.countFor("shared-cache"), 1u);
+}
+
+TEST(SharedCacheAudit, CatchesScribbledSimdPadding)
+{
+    NicTimings timings;
+    SharedUtlbCache cache(CacheConfig{64, 2, true}, timings);
+    cache.insert(1, 5, 100);
+
+    check::AuditReport before;
+    cache.audit(before);
+    ASSERT_TRUE(before.ok());
+
+    check::TestTamper::scribblePadWord(cache);
     check::AuditReport after;
     cache.audit(after);
     EXPECT_FALSE(after.ok());
