@@ -66,6 +66,8 @@ struct MtScenario {
     std::size_t memLimitPages = 0;  //!< per-process pin cap (0 = off)
     bool asyncFill = false;      //!< attach the fill pipeline
     double zipfAlpha = 0.0;      //!< >0: Zipf(alpha) window choice
+    unsigned driverShards = 1;   //!< UtlbDriver shard count
+    std::size_t fillThreads = 1; //!< fill-pipeline pool size
 };
 
 /** Warm, all-hits scaling cell (the acceptance scenario). */
@@ -113,6 +115,19 @@ inline constexpr MtScenario kMtMissOverlap{"mt_miss_overlap", 8192, 64,
 inline constexpr MtScenario kMtZipfMix{"mt_zipf_mix", 4096, 64, 1024,
                                        8, false, 1, 0, true, 1.1};
 
+/**
+ * Driver-shard cell: the pin-churn shape (every window sheds and
+ * repins through driver ioctls) with one driver shard per worker, so
+ * four processes' pin/unpin traffic lands on four independent shard
+ * mutexes instead of one. Timed against the same shape at shards=1;
+ * the sharded/monolithic pages-per-sec ratio is the lock-splitting
+ * win. Meaningful only when the host can actually run the workers in
+ * parallel — the harness skips the ratio gate below 4 cores.
+ */
+inline constexpr MtScenario kMtMissShard{"mt_miss_shard", 512, 64,
+                                         8192, 8,  false, 1, 256,
+                                         false, 0.0, 4};
+
 /** One NIC, N worker processes, each with a concurrent UserUtlb. */
 struct MtStack {
     mem::PhysMemory phys;
@@ -142,7 +157,7 @@ struct MtStack {
           // control set overlap directly.
           cache(core::CacheConfig{sc.entries, sc.assoc, false},
                 timings, &sram),
-          driver(phys, pins, sram, cache, costs)
+          driver(phys, pins, sram, cache, costs, sc.driverShards)
     {
         for (unsigned w = 0; w < nworkers; ++w) {
             auto pid = static_cast<mem::ProcId>(w + 1);
@@ -160,8 +175,8 @@ struct MtStack {
             if (!concurrent)
                 utlb::sim::fatal(
                     "%s: asyncFill requires concurrent mode", sc.name);
-            fill = std::make_unique<core::FillPipeline>(driver, cache,
-                                                        timings);
+            fill = std::make_unique<core::FillPipeline>(
+                driver, cache, timings, 64, sc.fillThreads);
             for (auto &v : views)
                 v->attachFillPipeline(fill.get());
         }

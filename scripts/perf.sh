@@ -28,6 +28,30 @@ step "bench_mt (UTLB_MT_MS=${UTLB_MT_MS:-300} ms/cell, \
 UTLB_MT_THREADS=${UTLB_MT_THREADS:-4})"
 UTLB_BENCH_JSON_DIR="$OUT" "$BUILD"/bench/bench_mt
 
+# Oversubscription is recorded in-band (host_info.cores vs
+# worker_threads + fill_threads, a warning cell, and per-cell
+# oversubscribed flags); repeat it on the console so a 1-core
+# container run is never mistaken for a scaling measurement.
+python3 - "$OUT/BENCH_mt.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+hi = doc["host_info"]
+print("host: %d core(s), %d worker thread(s) + %d fill thread(s)"
+      % (hi["cores"], hi["worker_threads"], hi["fill_threads"]))
+warn = [p for p in doc["points"]
+        if p["labels"].get("mode") == "oversubscribed_warning"]
+over = [p["labels"] for p in doc["points"]
+        if p["metrics"].get("oversubscribed") == 1.0
+        and p["labels"].get("mode") != "oversubscribed_warning"]
+if warn:
+    print("WARNING: oversubscribed run (threads exceed cores); "
+          "wall-clock cells measure time-slicing, not scaling:")
+    for lb in over:
+        print("  - %s/%s threads=%s" % (lb.get("scenario"),
+                                        lb.get("mode"),
+                                        lb.get("threads")))
+EOF
+
 step "tlbsim --batch replay (radix)"
 "$BUILD"/src/tlbsim/tlbsim radix --mode utlb --prefetch 8 --batch \
     --stats-json "$OUT/tlbsim_batch_radix.json"

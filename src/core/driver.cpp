@@ -1,6 +1,7 @@
 #include "core/driver.hpp"
 
 #include "check/audit.hpp"
+#include "check/check.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -11,10 +12,27 @@ using mem::Vpn;
 using sim::fatal;
 using sim::panic;
 
+namespace {
+
+/** Round up to a power of two (>= 1). */
+unsigned
+roundPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Initial per-shard directory capacity (power of two). */
+constexpr std::size_t kDirInitCap = 16;
+
+} // namespace
+
 UtlbDriver::UtlbDriver(mem::PhysMemory &host_mem,
                        mem::PinFacility &pin_facility,
                        nic::Sram &board_sram, SharedUtlbCache &cache,
-                       const HostCosts &costs)
+                       const HostCosts &costs, unsigned shard_count)
     : hostMem(&host_mem), pins(&pin_facility), sram(&board_sram),
       nicCache(&cache), hostCosts(&costs)
 {
@@ -24,12 +42,38 @@ UtlbDriver::UtlbDriver(mem::PhysMemory &host_mem,
         fatal("no physical memory for the driver garbage page");
     garbagePfn = *frame;
 
-    // Size the per-process maps for a plausible process population
-    // up front; registration is rare but the maps are probed on the
-    // miss path, and a pre-sized table avoids early rehashes.
-    tables.reserve(64);
-    nicTables.reserve(64);
-    spaces.reserve(64);
+    unsigned n = roundPow2(shard_count ? shard_count : 1);
+    shardMask = n - 1;
+    shards.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        auto s = std::make_unique<Shard>(
+            statIoctlLatency.makeAccum(),
+            statIoctlRejectLatency.makeAccum());
+        {
+            sim::LockGuard lk(s->mu);
+            // Pre-size the directory: registration is rare but the
+            // directory is probed on the miss path, and a pre-sized
+            // table avoids early rehashes.
+            s->dir.resize(kDirInitCap);
+            statIoctls.addSource(&s->st.ioctls);
+            statIoctlRejects.addSource(&s->st.rejects);
+            statPagesPinned.addSource(&s->st.pagesPinned);
+            statPagesUnpinned.addSource(&s->st.pagesUnpinned);
+            statIoctlLatency.addSource(&s->st.latency);
+            statIoctlRejectLatency.addSource(&s->st.rejectLatency);
+        }
+        shards.push_back(std::move(s));
+    }
+
+    if (n > 1) {
+        // A single shard lock no longer serializes the shared
+        // structures the ioctl bodies touch: the pin facility, the
+        // physical allocator (host-table leaf allocation), and the
+        // NIC cache's invalidation path all need their own locking.
+        pins->enableConcurrent();
+        hostMem->enableConcurrent();
+        nicCache->enableConcurrent();
+    }
 }
 
 UtlbDriver::~UtlbDriver()
@@ -37,72 +81,164 @@ UtlbDriver::~UtlbDriver()
     hostMem->freeFrame(garbagePfn);
 }
 
+UtlbDriver::DirEntry *
+UtlbDriver::findEntryLocked(Shard &s, ProcId pid)
+{
+    std::size_t mask = s.dir.size() - 1;
+    std::size_t i = dirHash(pid) & mask;
+    for (;;) {
+        DirEntry &e = s.dir[i];
+        if (e.pid == pid)
+            return &e;
+        if (e.pid == kEmptyPid)
+            return nullptr;
+        i = (i + 1) & mask;
+    }
+}
+
+// Quiescent-only probe (class comment): the unlocked accessors read
+// the shard directory by the same temporal contract the monolithic
+// driver's map reads had. Invisible to the static analysis.
+const UtlbDriver::DirEntry *
+UtlbDriver::findEntry(ProcId pid) const UTLB_NO_THREAD_SAFETY_ANALYSIS
+{
+    const Shard &s = shardFor(pid);
+    std::size_t mask = s.dir.size() - 1;
+    std::size_t i = dirHash(pid) & mask;
+    for (;;) {
+        const DirEntry &e = s.dir[i];
+        if (e.pid == pid)
+            return &e;
+        if (e.pid == kEmptyPid)
+            return nullptr;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+UtlbDriver::dirGrow(std::vector<DirEntry> &dir, std::size_t &used,
+                    std::size_t live)
+{
+    std::size_t ncap = dir.size() * 2;
+    std::vector<DirEntry> ndir(ncap);
+    std::size_t mask = ncap - 1;
+    for (DirEntry &e : dir) {
+        if (e.pid == kEmptyPid || e.pid == kTombPid)
+            continue;
+        std::size_t i = dirHash(e.pid) & mask;
+        while (ndir[i].pid != kEmptyPid)
+            i = (i + 1) & mask;
+        ndir[i] = std::move(e);
+    }
+    dir = std::move(ndir);
+    used = live;
+}
+
+void
+UtlbDriver::dirInsertLocked(Shard &s, DirEntry &&e)
+{
+    // Rehash at 3/4 load (live + tombstones); tombstones drop out.
+    if ((s.dirUsed + 1) * 4 >= s.dir.size() * 3)
+        dirGrow(s.dir, s.dirUsed, s.dirLive);
+    std::size_t mask = s.dir.size() - 1;
+    std::size_t i = dirHash(e.pid) & mask;
+    for (;;) {
+        DirEntry &slot = s.dir[i];
+        if (slot.pid == kEmptyPid) {
+            slot = std::move(e);
+            ++s.dirUsed;
+            ++s.dirLive;
+            return;
+        }
+        if (slot.pid == kTombPid) {
+            slot = std::move(e);
+            ++s.dirLive;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
 void
 UtlbDriver::registerProcess(mem::AddressSpace &space)
 {
-    sim::LockGuard lk(mu);
+    sim::LockGuard rg(registryMu);
     ProcId pid = space.pid();
-    if (tables.count(pid))
+    if (pid >= kTombPid)
+        panic("pid %u is reserved (shard-directory sentinel)", pid);
+    Shard &s = shardFor(pid);
+    sim::LockGuard lk(s.mu);
+    if (findEntryLocked(s, pid))
         panic("process %u registered with the driver twice", pid);
     pins->registerSpace(space);
-    spaces.emplace(pid, &space);
-    auto it = tables.emplace(
-        pid, std::make_unique<HostPageTable>(*hostMem, pid, sram));
-    statsGrp.adopt(it.first->second->stats());
+    DirEntry e;
+    e.pid = pid;
+    e.table = std::make_unique<HostPageTable>(*hostMem, pid, sram);
+    e.space = &space;
+    statsGrp.adopt(e.table->stats());
+    dirInsertLocked(s, std::move(e));
 }
 
 void
 UtlbDriver::unregisterProcess(ProcId pid)
 {
-    sim::LockGuard lk(mu);
+    sim::LockGuard rg(registryMu);
+    Shard &s = shardFor(pid);
+    sim::LockGuard lk(s.mu);
     nicCache->invalidateProcess(pid);
-    if (auto it = tables.find(pid); it != tables.end())
-        statsGrp.disown(it->second->stats());
-    tables.erase(pid);
-    nicTables.erase(pid);
-    spaces.erase(pid);
+    if (DirEntry *e = findEntryLocked(s, pid)) {
+        statsGrp.disown(e->table->stats());
+        e->pid = kTombPid;
+        e->table.reset();
+        e->nicTable.reset();
+        e->space = nullptr;
+        --s.dirLive;
+    }
     pins->unregisterProcess(pid);
 }
 
-// Quiescent-only by contract (class comment): callers either hold mu
-// (the ioctl paths call this under the lock) or have stopped every
-// worker. That temporal argument is invisible to the static analysis.
 bool
-UtlbDriver::isRegistered(ProcId pid) const UTLB_NO_THREAD_SAFETY_ANALYSIS
+UtlbDriver::isRegistered(ProcId pid) const
 {
-    return tables.count(pid) > 0;
+    return findEntry(pid) != nullptr;
 }
 
 // Quiescent-only accessor (class comment): hands out a reference that
 // outlives any lock scope, so locking here would promise nothing.
 HostPageTable &
-UtlbDriver::pageTable(ProcId pid) UTLB_NO_THREAD_SAFETY_ANALYSIS
+UtlbDriver::pageTable(ProcId pid)
 {
-    auto it = tables.find(pid);
-    if (it == tables.end())
+    const DirEntry *e = findEntry(pid);
+    if (!e)
         panic("pageTable of unregistered process %u", pid);
-    return *it->second;
+    return *e->table;
 }
 
 IoctlResult
 UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
 {
-    IoctlResult res;
-    {
-        sim::LockGuard lk(mu);
-        res = pinAndInstallLocked(pid, start, npages);
-    }
-    // Latency bookkeeping happens after mu is released (see record).
-    return record(res);
+    return ioctlPinAndInstall(shardOf(pid), pid, start, npages);
 }
 
 IoctlResult
-UtlbDriver::pinAndInstallLocked(ProcId pid, Vpn start,
+UtlbDriver::ioctlPinAndInstall(ShardHandle h, ProcId pid, Vpn start,
+                               std::size_t npages)
+{
+    UTLB_ASSERT(h.sh == &shardFor(pid),
+                "shard handle does not serve pid %u", pid);
+    Shard &s = *h.sh;
+    sim::LockGuard lk(s.mu);
+    return recordLocked(s, pinAndInstallLocked(s, pid, start, npages));
+}
+
+IoctlResult
+UtlbDriver::pinAndInstallLocked(Shard &s, ProcId pid, Vpn start,
                                 std::size_t npages)
 {
-    ++statIoctls;
+    ++s.st.ioctls;
     IoctlResult res;
-    if (!isRegistered(pid)) {
+    DirEntry *e = findEntryLocked(s, pid);
+    if (!e) {
         res.status = PinStatus::UnknownProcess;
         return res;
     }
@@ -119,7 +255,7 @@ UtlbDriver::pinAndInstallLocked(ProcId pid, Vpn start,
         return res;
     }
 
-    HostPageTable &table = pageTable(pid);
+    HostPageTable &table = *e->table;
     for (std::size_t i = 0; i < npages; ++i) {
         if (!table.set(start + i, (*frames)[i])) {
             // Roll back on table-leaf OOM.
@@ -134,7 +270,7 @@ UtlbDriver::pinAndInstallLocked(ProcId pid, Vpn start,
         }
     }
 
-    statPagesPinned += npages;
+    s.st.pagesPinned += npages;
     res.pagesDone = npages;
     res.cost = hostCosts->pinCost(npages);
     return res;
@@ -144,26 +280,34 @@ IoctlResult
 UtlbDriver::ioctlUnpinAndInvalidate(ProcId pid, Vpn start,
                                     std::size_t npages)
 {
-    IoctlResult res;
-    {
-        sim::LockGuard lk(mu);
-        res = unpinAndInvalidateLocked(pid, start, npages);
-    }
-    return record(res);
+    return ioctlUnpinAndInvalidate(shardOf(pid), pid, start, npages);
 }
 
 IoctlResult
-UtlbDriver::unpinAndInvalidateLocked(ProcId pid, Vpn start,
+UtlbDriver::ioctlUnpinAndInvalidate(ShardHandle h, ProcId pid,
+                                    Vpn start, std::size_t npages)
+{
+    UTLB_ASSERT(h.sh == &shardFor(pid),
+                "shard handle does not serve pid %u", pid);
+    Shard &s = *h.sh;
+    sim::LockGuard lk(s.mu);
+    return recordLocked(
+        s, unpinAndInvalidateLocked(s, pid, start, npages));
+}
+
+IoctlResult
+UtlbDriver::unpinAndInvalidateLocked(Shard &s, ProcId pid, Vpn start,
                                      std::size_t npages)
 {
-    ++statIoctls;
+    ++s.st.ioctls;
     IoctlResult res;
-    if (!isRegistered(pid)) {
+    DirEntry *e = findEntryLocked(s, pid);
+    if (!e) {
         res.status = PinStatus::UnknownProcess;
         return res;
     }
 
-    HostPageTable &table = pageTable(pid);
+    HostPageTable &table = *e->table;
     for (std::size_t i = 0; i < npages; ++i) {
         Vpn vpn = start + i;
         if (pins->unpinPage(pid, vpn) != PinStatus::Ok)
@@ -176,7 +320,7 @@ UtlbDriver::unpinAndInvalidateLocked(ProcId pid, Vpn start,
         }
         ++res.pagesDone;
     }
-    statPagesUnpinned += res.pagesDone;
+    s.st.pagesUnpinned += res.pagesDone;
     res.cost = hostCosts->unpinCost(res.pagesDone ? res.pagesDone : 1);
     return res;
 }
@@ -184,44 +328,45 @@ UtlbDriver::unpinAndInvalidateLocked(ProcId pid, Vpn start,
 NicTranslationTable &
 UtlbDriver::createNicTable(ProcId pid, std::size_t entries)
 {
-    sim::LockGuard lk(mu);
-    if (!isRegistered(pid))
+    sim::LockGuard rg(registryMu);
+    Shard &s = shardFor(pid);
+    sim::LockGuard lk(s.mu);
+    DirEntry *e = findEntryLocked(s, pid);
+    if (!e)
         panic("createNicTable for unregistered process %u", pid);
-    auto [it, inserted] = nicTables.emplace(
-        pid, std::make_unique<NicTranslationTable>(*sram, pid, entries,
-                                                   garbagePfn));
-    if (!inserted)
+    if (e->nicTable)
         panic("NIC table for process %u created twice", pid);
-    return *it->second;
+    e->nicTable = std::make_unique<NicTranslationTable>(
+        *sram, pid, entries, garbagePfn);
+    return *e->nicTable;
 }
 
 // Quiescent-only accessor, same contract as pageTable().
 NicTranslationTable &
-UtlbDriver::nicTable(ProcId pid) UTLB_NO_THREAD_SAFETY_ANALYSIS
+UtlbDriver::nicTable(ProcId pid)
 {
-    auto it = nicTables.find(pid);
-    if (it == nicTables.end())
+    const DirEntry *e = findEntry(pid);
+    if (!e || !e->nicTable)
         panic("nicTable of process %u does not exist", pid);
-    return *it->second;
+    return *e->nicTable;
 }
 
 IoctlResult
 UtlbDriver::ioctlPinAtIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
-    IoctlResult res;
-    {
-        sim::LockGuard lk(mu);
-        res = pinAtIndexLocked(pid, vpn, index);
-    }
-    return record(res);
+    Shard &s = shardFor(pid);
+    sim::LockGuard lk(s.mu);
+    return recordLocked(s, pinAtIndexLocked(s, pid, vpn, index));
 }
 
 IoctlResult
-UtlbDriver::pinAtIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
+UtlbDriver::pinAtIndexLocked(Shard &s, ProcId pid, Vpn vpn,
+                             UtlbIndex index)
 {
-    ++statIoctls;
+    ++s.st.ioctls;
     IoctlResult res;
-    if (!isRegistered(pid)) {
+    DirEntry *e = findEntryLocked(s, pid);
+    if (!e) {
         res.status = PinStatus::UnknownProcess;
         return res;
     }
@@ -233,8 +378,10 @@ UtlbDriver::pinAtIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
         res.cost = hostCosts->pinCost(1);
         return res;
     }
-    nicTable(pid).install(index, *frame);
-    ++statPagesPinned;
+    if (!e->nicTable)
+        panic("nicTable of process %u does not exist", pid);
+    e->nicTable->install(index, *frame);
+    ++s.st.pagesPinned;
     res.pagesDone = 1;
     res.cost = hostCosts->pinCost(1);
     return res;
@@ -243,27 +390,28 @@ UtlbDriver::pinAtIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
 IoctlResult
 UtlbDriver::ioctlUnpinIndex(ProcId pid, Vpn vpn, UtlbIndex index)
 {
-    IoctlResult res;
-    {
-        sim::LockGuard lk(mu);
-        res = unpinIndexLocked(pid, vpn, index);
-    }
-    return record(res);
+    Shard &s = shardFor(pid);
+    sim::LockGuard lk(s.mu);
+    return recordLocked(s, unpinIndexLocked(s, pid, vpn, index));
 }
 
 IoctlResult
-UtlbDriver::unpinIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
+UtlbDriver::unpinIndexLocked(Shard &s, ProcId pid, Vpn vpn,
+                             UtlbIndex index)
 {
-    ++statIoctls;
+    ++s.st.ioctls;
     IoctlResult res;
-    if (!isRegistered(pid)) {
+    DirEntry *e = findEntryLocked(s, pid);
+    if (!e) {
         res.status = PinStatus::UnknownProcess;
         return res;
     }
     res.status = pins->unpinPage(pid, vpn);
     if (res.status == PinStatus::Ok) {
-        nicTable(pid).invalidate(index);
-        ++statPagesUnpinned;
+        if (!e->nicTable)
+            panic("nicTable of process %u does not exist", pid);
+        e->nicTable->invalidate(index);
+        ++s.st.pagesUnpinned;
         res.pagesDone = 1;
     }
     res.cost = hostCosts->unpinCost(1);
@@ -271,7 +419,8 @@ UtlbDriver::unpinIndexLocked(ProcId pid, Vpn vpn, UtlbIndex index)
 }
 
 // Audits run at quiescence only (no worker in an ioctl), so the
-// unlocked sweep over the guarded maps is safe but unprovable here.
+// unlocked sweep over the guarded shard directories is safe but
+// unprovable here.
 void
 UtlbDriver::audit(check::AuditReport &report) const
     UTLB_NO_THREAD_SAFETY_ANALYSIS
@@ -283,17 +432,26 @@ UtlbDriver::audit(check::AuditReport &report) const
     report.require(hostMem->ownerOf(garbagePfn) == kKernelPid,
                    "garbage frame %llu not owned by the kernel",
                    static_cast<unsigned long long>(garbagePfn));
-    for (const auto &[pid, space] : spaces) {
-        report.require(space->pid() == pid,
-                       "space registered under pid %u reports pid %u",
-                       pid, space->pid());
-        report.require(tables.count(pid) == 1,
-                       "registered pid %u has no host page table", pid);
+    for (const auto &sp : shards) {
+        for (const DirEntry &e : sp->dir) {
+            if (e.pid == kEmptyPid || e.pid == kTombPid)
+                continue;
+            report.require(e.space && e.space->pid() == e.pid,
+                           "space registered under pid %u reports "
+                           "pid %u",
+                           e.pid, e.space ? e.space->pid() : 0);
+            report.require(e.table != nullptr,
+                           "registered pid %u has no host page table",
+                           e.pid);
+            report.require(&shardFor(e.pid) == sp.get(),
+                           "pid %u filed in the wrong driver shard",
+                           e.pid);
+            if (e.table)
+                e.table->audit(report);
+            if (e.nicTable)
+                e.nicTable->audit(report);
+        }
     }
-    for (const auto &[pid, table] : tables)
-        table->audit(report);
-    for (const auto &[pid, table] : nicTables)
-        table->audit(report);
     pins->audit(report);
 }
 

@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/shared_cache.hpp"
@@ -51,21 +51,33 @@ struct IoctlResult {
  * cache: an unpin always invalidates both the host table entry and
  * any cached NIC copy before the page becomes evictable.
  *
- * Thread safety: the ioctl entry points and process (un)registration
- * serialize on one internal mutex, like syscalls into a real driver
- * taking its lock — they touch the shared pin facility and physical
- * allocator, and they sit on the modeled-syscall slow path where a
- * lock is noise. Accessors that hand out references (pageTable,
- * nicTable, pinFacility, stats, audit) are not locked: use them only
- * after registration has quiesced and, for stats/audit, when no
- * worker is in an ioctl.
+ * Thread safety: the driver is sharded by process. Per-process state
+ * (the page-table/NIC-table/space directory and the ioctl statistics)
+ * lives in one of @p shards shard blocks, each with its own mutex; an
+ * ioctl takes only its process' shard lock, so concurrent misses from
+ * different processes stop serializing the way they would on one
+ * driver-wide lock. Process (un)registration and NIC-table creation
+ * additionally serialize on registryMu (lock order: registryMu, then
+ * one shard mutex — ioctls never hold two shard locks). With more
+ * than one shard the constructor arms the pin facility's, the
+ * physical allocator's, and the NIC cache's internal locking, since
+ * a single shard lock no longer serializes access to those shared
+ * structures. The default single shard reproduces the monolithic
+ * driver exactly (same lock discipline, bit-identical stats).
+ *
+ * Accessors that hand out references (pageTable, nicTable,
+ * pinFacility, stats, audit) are not locked: use them only after
+ * registration has quiesced and, for stats/audit, when no worker is
+ * in an ioctl.
  */
 class UtlbDriver
 {
+    struct Shard;  // the per-shard block (defined below, private)
+
   public:
     UtlbDriver(mem::PhysMemory &host_mem, mem::PinFacility &pin_facility,
                nic::Sram &board_sram, SharedUtlbCache &cache,
-               const HostCosts &costs);
+               const HostCosts &costs, unsigned shards = 1);
 
     ~UtlbDriver();
 
@@ -78,9 +90,17 @@ class UtlbDriver
     /** The kernel pin facility this driver fronts. */
     const mem::PinFacility &pinFacility() const { return *pins; }
 
+    /** Number of driver shards (a power of two; 1 = monolithic). */
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards.size());
+    }
+
     /**
      * Register a process: creates its host-resident page table and
-     * registers its address space with the pinning facility.
+     * registers its address space with the pinning facility. Reserved
+     * pids (the empty/tombstone sentinels of the shard directory,
+     * which also cover kKernelPid) are rejected fatally.
      */
     void registerProcess(mem::AddressSpace &space);
 
@@ -94,6 +114,32 @@ class UtlbDriver
     HostPageTable &pageTable(mem::ProcId pid);
 
     /**
+     * An opaque reference to the shard that serves one process'
+     * ioctls. Resolving the shard is a cheap hash, but callers that
+     * issue many ioctls for one pid (PinManager, the fill threads)
+     * can resolve once and pass the handle to the ioctl overloads
+     * below. A default-constructed handle is empty; handles stay
+     * valid for the driver's lifetime (shards are never reallocated).
+     */
+    class ShardHandle
+    {
+        friend class UtlbDriver;
+        Shard *sh = nullptr;
+
+      public:
+        ShardHandle() = default;
+        explicit operator bool() const { return sh != nullptr; }
+    };
+
+    /** The shard handle for @p pid's ioctls. */
+    ShardHandle shardOf(mem::ProcId pid)
+    {
+        ShardHandle h;
+        h.sh = &shardFor(pid);
+        return h;
+    }
+
+    /**
      * ioctl: pin [start, start+npages) and install the translations
      * into the process' host page table (all-or-nothing).
      *
@@ -102,6 +148,8 @@ class UtlbDriver
      */
     IoctlResult ioctlPinAndInstall(mem::ProcId pid, mem::Vpn start,
                                    std::size_t npages);
+    IoctlResult ioctlPinAndInstall(ShardHandle h, mem::ProcId pid,
+                                   mem::Vpn start, std::size_t npages);
 
     /**
      * ioctl: unpin @p npages pages starting at @p start,
@@ -109,6 +157,9 @@ class UtlbDriver
      * Pages in the range that are not pinned are skipped.
      */
     IoctlResult ioctlUnpinAndInvalidate(mem::ProcId pid, mem::Vpn start,
+                                        std::size_t npages);
+    IoctlResult ioctlUnpinAndInvalidate(ShardHandle h, mem::ProcId pid,
+                                        mem::Vpn start,
                                         std::size_t npages);
 
     /**
@@ -138,19 +189,17 @@ class UtlbDriver
     /**
      * @name Lifetime counters
      *
-     * Quiescent-only accessors (class comment): they read mu-guarded
-     * counters unlocked, by the same temporal contract as pageTable().
+     * Quiescent-only accessors (class comment): they sum the
+     * per-shard stat slots unlocked, by the same temporal contract
+     * as pageTable().
      * @{
      */
-    std::uint64_t ioctlCalls() const UTLB_NO_THREAD_SAFETY_ANALYSIS
-    {
-        return statIoctls.value();
-    }
-    std::uint64_t pagesPinned() const UTLB_NO_THREAD_SAFETY_ANALYSIS
+    std::uint64_t ioctlCalls() const { return statIoctls.value(); }
+    std::uint64_t pagesPinned() const
     {
         return statPagesPinned.value();
     }
-    std::uint64_t pagesUnpinned() const UTLB_NO_THREAD_SAFETY_ANALYSIS
+    std::uint64_t pagesUnpinned() const
     {
         return statPagesUnpinned.value();
     }
@@ -169,46 +218,130 @@ class UtlbDriver
 
   private:
     /**
-     * Record an ioctl's outcome in the latency stats before returning
-     * it. Called by the public wrappers *after* releasing the driver
-     * mutex: the bookkeeping is not part of the modeled critical
-     * section, and a rejected call — which only ever charges the
-     * one-page syscall floor — must not stretch its hold of mu while
-     * other workers' pins queue behind it. Rejects sample their own
-     * histogram so ioctl_latency_us stays a pure success-cost
-     * (Table 1) distribution.
+     * @name Shard directory sentinels
+     *
+     * The per-shard process directory is open-addressed on pid (the
+     * LeafDir idiom): kEmptyPid marks a never-used slot, kTombPid a
+     * deleted one. Both are above every registerable pid — including
+     * kKernelPid (0xfffffffe == kTombPid + 1), which only ever owns
+     * the garbage frame and never registers.
+     * @{
      */
-    IoctlResult record(IoctlResult res) UTLB_EXCLUDES(mu)
+    static constexpr mem::ProcId kEmptyPid = 0xffffffffu;
+    static constexpr mem::ProcId kTombPid = 0xfffffffdu;
+    /** @} */
+
+    /** One registered process' driver-side state. */
+    struct DirEntry {
+        mem::ProcId pid = kEmptyPid;
+        std::unique_ptr<HostPageTable> table;
+        std::unique_ptr<NicTranslationTable> nicTable;
+        mem::AddressSpace *space = nullptr;
+    };
+
+    /**
+     * Per-shard ioctl statistics: the slots the merge-on-read stats
+     * view (statIoctls & co.) sums at serialization time. Guarded by
+     * the owning shard's mutex, so the ioctl paths bump them with
+     * plain arithmetic — no second stat lock, and the TSA annotation
+     * matches the actual discipline (the old split guarded half the
+     * stats with mu and half with a separate statMu).
+     */
+    struct ShardStats {
+        ShardStats(sim::HistAccum lat, sim::HistAccum rej)
+            : latency(std::move(lat)), rejectLatency(std::move(rej))
+        {}
+
+        std::uint64_t ioctls = 0;
+        std::uint64_t rejects = 0;
+        std::uint64_t pagesPinned = 0;
+        std::uint64_t pagesUnpinned = 0;
+        sim::HistAccum latency;
+        sim::HistAccum rejectLatency;
+    };
+
+    /**
+     * One driver shard: the mutex, the open-addressed process
+     * directory it guards, and the shard's stat block. Processes map
+     * to shards by pid (shardFor), so one process' ioctls always
+     * serialize with each other but never with another shard's.
+     */
+    struct Shard {
+        Shard(sim::HistAccum lat, sim::HistAccum rej)
+            : st(std::move(lat), std::move(rej))
+        {}
+
+        sim::Mutex mu;
+        std::vector<DirEntry> dir UTLB_GUARDED_BY(mu);
+        std::size_t dirLive UTLB_GUARDED_BY(mu){0};
+        std::size_t dirUsed UTLB_GUARDED_BY(mu){0}; //!< live + tombs
+        ShardStats st UTLB_GUARDED_BY(mu);
+    };
+
+    /**
+     * Record an ioctl's outcome in the shard's latency stats before
+     * returning it. Rejects sample their own histogram so
+     * ioctl_latency_us stays a pure success-cost (Table 1)
+     * distribution.
+     */
+    IoctlResult recordLocked(Shard &s, IoctlResult res)
+        UTLB_REQUIRES(s.mu)
     {
-        sim::LockGuard lk(statMu);
         if (res.status != mem::PinStatus::Ok) {
-            ++statIoctlRejects;
-            statIoctlRejectLatency.sample(sim::ticksToUs(res.cost));
+            ++s.st.rejects;
+            s.st.rejectLatency.sample(sim::ticksToUs(res.cost));
         } else {
-            statIoctlLatency.sample(sim::ticksToUs(res.cost));
+            s.st.latency.sample(sim::ticksToUs(res.cost));
         }
         return res;
     }
 
-    /** @name Locked ioctl bodies (wrappers record() after unlock) @{ */
-    IoctlResult pinAndInstallLocked(mem::ProcId pid, mem::Vpn start,
-                                    std::size_t npages)
-        UTLB_REQUIRES(mu);
-    IoctlResult unpinAndInvalidateLocked(mem::ProcId pid,
-                                         mem::Vpn start,
-                                         std::size_t npages)
-        UTLB_REQUIRES(mu);
-    IoctlResult pinAtIndexLocked(mem::ProcId pid, mem::Vpn vpn,
-                                 UtlbIndex index) UTLB_REQUIRES(mu);
-    IoctlResult unpinIndexLocked(mem::ProcId pid, mem::Vpn vpn,
-                                 UtlbIndex index) UTLB_REQUIRES(mu);
+    Shard &shardFor(mem::ProcId pid)
+    {
+        return *shards[pid & shardMask];
+    }
+    const Shard &shardFor(mem::ProcId pid) const
+    {
+        return *shards[pid & shardMask];
+    }
+
+    /** @name Open-addressed directory helpers @{ */
+    static std::size_t dirHash(mem::ProcId pid)
+    {
+        return static_cast<std::size_t>(pid) * 0x9E3779B9u;
+    }
+    DirEntry *findEntryLocked(Shard &s, mem::ProcId pid)
+        UTLB_REQUIRES(s.mu);
+    void dirInsertLocked(Shard &s, DirEntry &&e) UTLB_REQUIRES(s.mu);
+    static void dirGrow(std::vector<DirEntry> &dir,
+                        std::size_t &used, std::size_t live);
+    /** Quiescent-only probe (the unlocked accessors). */
+    const DirEntry *findEntry(mem::ProcId pid) const;
     /** @} */
 
-    /** Serializes ioctls and (un)registration (see class comment). */
-    sim::Mutex mu;
+    /** @name Locked ioctl bodies (wrappers recordLocked and unlock) @{ */
+    IoctlResult pinAndInstallLocked(Shard &s, mem::ProcId pid,
+                                    mem::Vpn start, std::size_t npages)
+        UTLB_REQUIRES(s.mu);
+    IoctlResult unpinAndInvalidateLocked(Shard &s, mem::ProcId pid,
+                                         mem::Vpn start,
+                                         std::size_t npages)
+        UTLB_REQUIRES(s.mu);
+    IoctlResult pinAtIndexLocked(Shard &s, mem::ProcId pid,
+                                 mem::Vpn vpn, UtlbIndex index)
+        UTLB_REQUIRES(s.mu);
+    IoctlResult unpinIndexLocked(Shard &s, mem::ProcId pid,
+                                 mem::Vpn vpn, UtlbIndex index)
+        UTLB_REQUIRES(s.mu);
+    /** @} */
 
-    /** Guards the latency/reject stats record() touches (post-mu). */
-    sim::Mutex statMu;
+    /**
+     * Serializes (un)registration and NIC-table creation across
+     * shards: those paths allocate from board SRAM and adopt/disown
+     * stats subtrees, which the shard locks alone do not cover.
+     * Lock order: registryMu before any shard mutex.
+     */
+    sim::Mutex registryMu;
 
     mem::PhysMemory *hostMem;
     mem::PinFacility *pins;
@@ -219,38 +352,27 @@ class UtlbDriver
     /** Set once in the constructor, immutable afterwards. */
     mem::Pfn garbagePfn;
 
-    /**
-     * The per-process maps are the mu-guarded state: every ioctl and
-     * (un)registration mutates or probes them under the lock. The
-     * quiescent-only accessors (pageTable, nicTable, isRegistered,
-     * audit) read them unlocked by documented contract and carry
-     * UTLB_NO_THREAD_SAFETY_ANALYSIS at their definitions.
-     */
-    std::unordered_map<mem::ProcId, std::unique_ptr<HostPageTable>>
-        tables UTLB_GUARDED_BY(mu);
-    std::unordered_map<mem::ProcId,
-                       std::unique_ptr<NicTranslationTable>>
-        nicTables UTLB_GUARDED_BY(mu);
-    std::unordered_map<mem::ProcId, mem::AddressSpace *>
-        spaces UTLB_GUARDED_BY(mu);
+    /** The shard blocks; sized and wired once in the constructor. */
+    std::vector<std::unique_ptr<Shard>> shards;
+    mem::ProcId shardMask = 0;
 
     sim::StatGroup statsGrp{"driver"};
-    sim::Counter statIoctls UTLB_GUARDED_BY(mu){
+    sim::MergedCounter statIoctls{
         &statsGrp, "ioctl_calls",
         "ioctl invocations (all four entry points)"};
-    sim::Counter statIoctlRejects UTLB_GUARDED_BY(statMu){
+    sim::MergedCounter statIoctlRejects{
         &statsGrp, "ioctl_rejects",
         "ioctls that returned a non-Ok status"};
-    sim::Counter statPagesPinned UTLB_GUARDED_BY(mu){
+    sim::MergedCounter statPagesPinned{
         &statsGrp, "pages_pinned", "pages pinned through ioctls"};
-    sim::Counter statPagesUnpinned UTLB_GUARDED_BY(mu){
+    sim::MergedCounter statPagesUnpinned{
         &statsGrp, "pages_unpinned",
         "pages unpinned through ioctls"};
-    sim::Histogram statIoctlLatency UTLB_GUARDED_BY(statMu){
+    sim::MergedHistogram statIoctlLatency{
         &statsGrp, "ioctl_latency_us",
         "modeled cost per successful ioctl (Table 1 batch curve)",
         200.0, 40};
-    sim::Histogram statIoctlRejectLatency UTLB_GUARDED_BY(statMu){
+    sim::MergedHistogram statIoctlRejectLatency{
         &statsGrp, "ioctl_reject_latency_us",
         "modeled cost charged to rejected ioctls (syscall floor)",
         200.0, 40};

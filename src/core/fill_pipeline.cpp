@@ -2,22 +2,32 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
 
 FillPipeline::FillPipeline(UtlbDriver &drv, SharedUtlbCache &c,
                            const nic::NicTimings &t,
-                           std::size_t queue_capacity)
-    : driver(&drv), cache(&c), timings(&t), queue(queue_capacity),
-      shard(c.makeShard())
+                           std::size_t queue_capacity,
+                           std::size_t pool_size)
+    : driver(&drv), cache(&c), timings(&t)
 {
+    if (pool_size == 0)
+        sim::fatal("FillPipeline pool_size must be >= 1");
     // Arm the cache's striped locking (idempotent; construction-time,
-    // so quiescent): the fill thread installs through insertMT and
-    // must never run against an unarmed cache.
+    // so quiescent): fill threads install through insertMT and must
+    // never run against an unarmed cache.
     cache->enableConcurrent();
-    batch.reserve(kBatchMax);
-    filler = std::thread([this] { run(); });
+    workers.reserve(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i)
+        workers.push_back(std::make_unique<Worker>(
+            c, queue_capacity, i, statBatchSize.makeLocal(),
+            statQueueDepth.makeLocal(), statFillLatency.makeLocal()));
+    // Launch only after the pool vector is final: every fill thread
+    // reads workers.size() (the stripe->thread modulus) unlocked.
+    for (auto &w : workers)
+        w->thread = std::thread([this, wp = w.get()] { run(*wp); });
 }
 
 FillPipeline::~FillPipeline()
@@ -38,7 +48,7 @@ FillPipeline::post(FillTicket &t, mem::ProcId pid, mem::Vpn vpn,
     // before the fill thread's reads.
     t.done.store(false, std::memory_order_relaxed);
     t.postedAt = std::chrono::steady_clock::now();
-    if (!queue.tryPush(&t))
+    if (!workerFor(pid, vpn).queue.tryPush(&t))
         return false;
     statPosted.addRelaxed(1);
     return true;
@@ -59,47 +69,73 @@ FillPipeline::waitDone(const FillTicket &t)
 void
 FillPipeline::stop()
 {
-    queue.stop();
-    if (!joined && filler.joinable()) {
-        filler.join();
-        joined = true;
-        // The fill thread has exited: its shard is quiescent; fold
-        // its cache-stat deltas into the global tree.
-        cache->absorbShard(shard);
+    // Stop every queue before joining any thread: producers see the
+    // whole pipeline reject at once, and no drain can re-enqueue.
+    for (auto &w : workers)
+        w->queue.stop();
+    if (joined)
+        return;
+    joined = true;
+    for (auto &w : workers) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+    // All fill threads have exited: their shards and delta blocks
+    // are quiescent. Fold in thread-index order so the merged stats
+    // are deterministic for a given set of per-thread totals; with a
+    // pool of one the fold is the historical single-shard absorb and
+    // every stat is bit-identical to the sequential run.
+    for (auto &w : workers) {
+        cache->absorbShard(w->shard);
+        statFills.absorb(w->dFills);
+        statFaultFills.absorb(w->dFaultFills);
+        statOverlappedTicks.absorb(w->dOverlappedTicks);
+        statBatchSize.absorb(w->dBatchSize);
+        statQueueDepth.absorb(w->dQueueDepth);
+        statFillLatency.absorb(w->dFillLatency);
     }
 }
 
+// utlb-lint: fill-worker
 void
-FillPipeline::run()
+FillPipeline::run(Worker &w)
 {
     for (;;) {
-        batch.clear();
-        std::size_t n = queue.popBatch(batch, kBatchMax);
+        w.batch.clear();
+        std::size_t n = w.queue.popBatch(w.batch, kBatchMax);
         if (n == 0)
             return; // stopped and drained
-        statBatchSize.sample(static_cast<double>(n));
-        statQueueDepth.sample(static_cast<double>(queue.depth()));
+        w.dBatchSize.sample(static_cast<double>(n));
+        w.dQueueDepth.sample(static_cast<double>(w.queue.depth()));
 
         // Service the batch stripe-major: installs then take each
         // stripe spinlock in runs. stable_sort keeps same-stripe
         // fills in post order (FIFO fairness within a stripe).
         std::stable_sort(
-            batch.begin(), batch.end(),
+            w.batch.begin(), w.batch.end(),
             [this](const FillTicket *a, const FillTicket *b) {
                 return cache->stripeIndex(a->pid, a->vpn) <
                        cache->stripeIndex(b->pid, b->vpn);
             });
 
-        for (FillTicket *t : batch) {
+        for (FillTicket *t : w.batch) {
+            // Stripe ownership is the pool's whole concurrency
+            // argument: a foreign-stripe ticket here would mean two
+            // fill threads can race on one stripe lock's FIFO order.
+            UTLB_ASSERT(ownsStripe(w, t->pid, t->vpn),
+                        "fill thread %zu drained a ticket for a "
+                        "stripe it does not own (pid %u vpn %llu)",
+                        w.index, t->pid,
+                        static_cast<unsigned long long>(t->vpn));
             t->result = serviceMiss(*driver, *cache, *timings, t->pid,
-                                    t->vpn, t->width, runBuf,
-                                    repairBuf, &shard, nullptr);
-            ++statFills;
+                                    t->vpn, t->width, w.runBuf,
+                                    w.repairBuf, &w.shard, nullptr);
+            ++w.dFills;
             if (t->result.fault)
-                ++statFaultFills;
-            statOverlappedTicks +=
+                ++w.dFaultFills;
+            w.dOverlappedTicks +=
                 static_cast<std::uint64_t>(t->result.cost);
-            statFillLatency.sample(
+            w.dFillLatency.sample(
                 std::chrono::duration<double, std::micro>(
                     std::chrono::steady_clock::now() - t->postedAt)
                     .count());

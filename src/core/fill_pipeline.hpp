@@ -11,13 +11,18 @@
  *  - workers post miss requests (FillTicket) into a bounded MPSC
  *    FillQueue and keep translating — later hits in the window are
  *    served while the fill is in flight;
- *  - one dedicated fill thread drains the queue in batches, sorts
- *    each batch by cache stripe (so installs take each stripe lock
- *    in runs instead of ping-ponging), services every miss through
- *    the same serviceMiss() routine as the synchronous path — same
- *    host-table DMA, same fault-repair ioctl through the driver
- *    mutex, same insertMT under the seqlock/stripe-lock write
- *    protocol — and publishes the result on the ticket;
+ *  - a pool of fill threads drains the queues. Each fill thread owns
+ *    a disjoint residue class of cache stripes (stripe index mod the
+ *    pool size): a miss for stripe s is always posted to — and only
+ *    ever serviced by — thread s % N, so two fill threads can never
+ *    contend on the same stripe lock, and per-stripe FIFO order is
+ *    preserved no matter how large the pool is. Each thread drains
+ *    its queue in batches, sorts the batch by cache stripe (installs
+ *    take each stripe lock in runs instead of ping-ponging), services
+ *    every miss through the same serviceMiss() routine as the
+ *    synchronous path — same host-table DMA, same fault-repair ioctl
+ *    through the driver, same insertMT under the seqlock/stripe-lock
+ *    write protocol — and publishes the result on the ticket;
  *  - completion wakes only threads blocked in waitDone(); workers
  *    that never wait are never touched.
  *
@@ -25,11 +30,14 @@
  * and the worker services that miss synchronously, so the pipeline
  * can only ever degrade to the old serialized behaviour.
  *
- * Ownership rules (docs/performance.md): the fill thread owns its
- * own cache Shard, scratch buffers, and every pipeline statistic;
- * a ticket belongs to the fill thread from the moment tryPush()
- * accepts it until done is observed true, then returns to the
- * posting worker. Stats are read at quiescence after stop().
+ * Ownership rules (docs/performance.md): each fill thread owns its
+ * own cache Shard, scratch buffers, queue-consumer side, and stat
+ * delta block; a ticket belongs to its stripe's fill thread from the
+ * moment tryPush() accepts it until done is observed true, then
+ * returns to the posting worker. Per-thread stat deltas are absorbed
+ * into the shared counters/histograms at stop(); stats are read at
+ * quiescence after stop(). A pool of one behaves exactly like the
+ * historical single fill thread (every stripe is residue 0).
  */
 
 #ifndef UTLB_CORE_FILL_PIPELINE_HPP
@@ -38,6 +46,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -73,33 +82,43 @@ struct FillTicket {
 };
 
 /**
- * The dedicated fill thread plus its queue. One instance per NIC
- * (per SharedUtlbCache); every concurrent UserUtlb view of that NIC
- * may attach to it. The constructor starts the thread; stop() (or
- * the destructor) drains the queue, joins, and folds the fill
- * thread's stat shard into the cache — after stop() the pipeline's
- * statistics are quiescent and exact.
+ * The fill-thread pool plus its per-thread queues. One instance per
+ * NIC (per SharedUtlbCache); every concurrent UserUtlb view of that
+ * NIC may attach to it. The constructor starts the threads; stop()
+ * (or the destructor) drains every queue, joins, and folds each fill
+ * thread's cache shard and stat deltas into the shared tree — after
+ * stop() the pipeline's statistics are quiescent and exact.
  */
 class FillPipeline
 {
   public:
-    /** Tickets the fill thread drains per queue pop. */
+    /** Tickets a fill thread drains per queue pop. */
     static constexpr std::size_t kBatchMax = 16;
 
+    /**
+     * @param queue_capacity ring capacity of each per-thread queue.
+     * @param pool_size number of fill threads (>= 1). Stripe s is
+     *        owned by thread s % pool_size.
+     */
     FillPipeline(UtlbDriver &drv, SharedUtlbCache &cache,
                  const nic::NicTimings &timings,
-                 std::size_t queue_capacity = 64);
+                 std::size_t queue_capacity = 64,
+                 std::size_t pool_size = 1);
 
     ~FillPipeline();
 
     FillPipeline(const FillPipeline &) = delete;
     FillPipeline &operator=(const FillPipeline &) = delete;
 
+    /** Number of fill threads in the pool. */
+    std::size_t poolSize() const { return workers.size(); }
+
     /**
-     * Post a miss-fill request. Never blocks: false means the queue
-     * is full or stopped and the caller must service the miss
-     * synchronously. On true, @p t belongs to the fill thread until
-     * waitDone() returns.
+     * Post a miss-fill request; it is routed to the fill thread that
+     * owns the target's cache stripe. Never blocks: false means that
+     * thread's queue is full or stopped and the caller must service
+     * the miss synchronously. On true, @p t belongs to the fill
+     * thread until waitDone() returns.
      */
     [[nodiscard]] bool post(FillTicket &t, mem::ProcId pid,
                             mem::Vpn vpn, std::size_t width);
@@ -113,15 +132,19 @@ class FillPipeline
     void waitDone(const FillTicket &t);
 
     /**
-     * Stop accepting fills, drain every accepted ticket, join the
-     * fill thread, and absorb its stat shard. Idempotent. Tickets
-     * accepted before the stop still complete (no lost fills); no
-     * install happens after stop() returns.
+     * Stop accepting fills, drain every accepted ticket, join every
+     * fill thread, and absorb each thread's cache shard and stat
+     * deltas (in thread-index order, so the fold is deterministic).
+     * Idempotent. Tickets accepted before the stop still complete
+     * (no lost fills); no install happens after stop() returns.
      */
     void stop();
 
     /** True until stop() has begun. */
-    bool accepting() const { return !queue.isStopped(); }
+    bool accepting() const
+    {
+        return !workers.front()->queue.isStopped();
+    }
 
     /** @name Quiescent accessors (call after stop(), or for tests) @{ */
     std::uint64_t fillsCompleted() const { return statFills.value(); }
@@ -138,40 +161,90 @@ class FillPipeline
     const sim::StatGroup &stats() const { return statsGrp; }
 
   private:
-    void run();
+    /**
+     * One fill thread's private world: its queue (consumer side),
+     * cache stat shard, scratch buffers, and stat delta block. No
+     * locks — the owning thread is the only toucher between the
+     * constructor's thread launch and stop()'s join.
+     */
+    struct Worker {
+        Worker(SharedUtlbCache &c, std::size_t queue_capacity,
+               std::size_t idx, sim::HistAccum bs, sim::HistAccum qd,
+               sim::HistAccum fl)
+            : index(idx), queue(queue_capacity), shard(c.makeShard()),
+              dBatchSize(std::move(bs)), dQueueDepth(std::move(qd)),
+              dFillLatency(std::move(fl))
+        {
+            batch.reserve(kBatchMax);
+        }
+
+        const std::size_t index;  //!< owns stripes s: s % N == index
+        sim::FillQueue<FillTicket *> queue;
+
+        SharedUtlbCache::Shard shard;
+        std::vector<std::optional<mem::Pfn>> runBuf;
+        std::vector<std::optional<mem::Pfn>> repairBuf;
+        std::vector<FillTicket *> batch;
+
+        /** @name Stat deltas, absorbed at stop() @{ */
+        std::uint64_t dFills = 0;
+        std::uint64_t dFaultFills = 0;
+        std::uint64_t dOverlappedTicks = 0;
+        sim::HistAccum dBatchSize;
+        sim::HistAccum dQueueDepth;
+        sim::HistAccum dFillLatency;
+        /** @} */
+
+        std::thread thread;
+    };
+
+    /**
+     * True iff @p w is the pool member that owns the cache stripe of
+     * (pid, vpn). The drain loop asserts this before every
+     * serviceMiss: stripe ownership is what makes N fill threads
+     * install concurrently without ever sharing a stripe lock.
+     */
+    bool ownsStripe(const Worker &w, mem::ProcId pid,
+                    mem::Vpn vpn) const
+    {
+        return cache->stripeIndex(pid, vpn) % workers.size() ==
+               w.index;
+    }
+
+    /** The pool member that owns (pid, vpn)'s stripe. */
+    Worker &workerFor(mem::ProcId pid, mem::Vpn vpn)
+    {
+        return *workers[cache->stripeIndex(pid, vpn) %
+                        workers.size()];
+    }
+
+    void run(Worker &w);
 
     UtlbDriver *driver;
     SharedUtlbCache *cache;
     const nic::NicTimings *timings;
 
-    sim::FillQueue<FillTicket *> queue;
-
     /** Pairs the done flags with sleeping waiters (no lost wakeup). */
     sim::Mutex doneMu;
     sim::CondVar doneCv;
 
-    /** @name Fill-thread-owned state (no locks; single owner) @{ */
-    SharedUtlbCache::Shard shard;
-    std::vector<std::optional<mem::Pfn>> runBuf;
-    std::vector<std::optional<mem::Pfn>> repairBuf;
-    std::vector<FillTicket *> batch;
-    /** @} */
+    /** Fixed after construction (threads index it unlocked). */
+    std::vector<std::unique_ptr<Worker>> workers;
 
     bool joined = false;
-    std::thread filler;
 
     sim::StatGroup statsGrp{"fill_pipeline"};
     sim::Counter statPosted{&statsGrp, "fills_posted",
-                            "miss requests accepted by the queue"};
+                            "miss requests accepted by the queues"};
     sim::Counter statFills{&statsGrp, "fills_completed",
                            "miss requests serviced by the fill "
-                           "thread"};
+                           "threads"};
     sim::Counter statFaultFills{&statsGrp, "fault_fills",
                                 "serviced fills that took the "
                                 "host-interrupt fault path"};
     sim::Counter statOverlappedTicks{&statsGrp, "overlapped_ticks",
                                      "modeled miss-service ticks "
-                                     "run on the fill thread, "
+                                     "run on the fill threads, "
                                      "overlapping worker progress"};
     sim::Histogram statBatchSize{&statsGrp, "batch_size",
                                  "tickets drained per queue pop",

@@ -15,7 +15,8 @@ using sim::warn;
 
 PinManager::PinManager(UtlbDriver &drv, mem::ProcId pid,
                        const PinManagerConfig &config)
-    : driver(&drv), procId(pid), cfg(config),
+    : driver(&drv), procId(pid), homeShard(drv.shardOf(pid)),
+      cfg(config),
       repl(ReplacementPolicy::create(cfg.policy, cfg.seed))
 {
 }
@@ -114,7 +115,8 @@ PinManager::evictOne(EnsureResult &res)
                 static_cast<unsigned long long>(*victim));
 
     // Unpin one page at a time (§6.5).
-    IoctlResult io = driver->ioctlUnpinAndInvalidate(procId, *victim, 1);
+    IoctlResult io =
+        driver->ioctlUnpinAndInvalidate(homeShard, procId, *victim, 1);
     res.cost += io.cost;
     res.unpinCost += io.cost;
     ++res.unpinIoctls;
@@ -143,8 +145,8 @@ PinManager::pinRun(Vpn start, std::size_t npages, EnsureResult &res)
     }
 
     while (true) {
-        IoctlResult io = driver->ioctlPinAndInstall(procId, start,
-                                                    npages);
+        IoctlResult io = driver->ioctlPinAndInstall(homeShard, procId,
+                                                    start, npages);
         res.cost += io.cost;
         res.pinCost += io.cost;
         ++res.pinIoctls;
@@ -282,7 +284,8 @@ PinManager::releasePage(Vpn vpn)
     auto g = guard();
     if (!bits.test(vpn))
         return false;
-    IoctlResult io = driver->ioctlUnpinAndInvalidate(procId, vpn, 1);
+    IoctlResult io =
+        driver->ioctlUnpinAndInvalidate(homeShard, procId, vpn, 1);
     if (io.status != PinStatus::Ok || io.pagesDone != 1)
         return false;
     bits.clear(vpn);

@@ -72,14 +72,9 @@ struct DirectLoads {
         return simd::matchWays(tags, n, key);
     }
     template <class C>
-    static ProcId pid(C &c)
+    static std::uint64_t pidVpn(C &c)
     {
-        return c.pid;
-    }
-    template <class C>
-    static Vpn vpn(C &c)
-    {
-        return c.vpn;
+        return c.pidVpn;
     }
     template <class C>
     static Pfn pfn(C &c)
@@ -99,16 +94,10 @@ struct RelaxedLoads {
         return mask;
     }
     template <class C>
-    static ProcId pid(C &c)
+    static std::uint64_t pidVpn(C &c)
     {
         // utlb-lint: seqlock-read-helper
-        return loadRelaxed(c.pid);
-    }
-    template <class C>
-    static Vpn vpn(C &c)
-    {
-        // utlb-lint: seqlock-read-helper
-        return loadRelaxed(c.vpn);
+        return loadRelaxed(c.pidVpn);
     }
     template <class C>
     static Pfn pfn(C &c)
@@ -167,15 +156,16 @@ SharedUtlbCache::probePacked(std::size_t set, ProcId pid, Vpn vpn,
     const std::size_t base = set * config.assoc;
     unsigned mask = Loads::matchMask(&tagWords[base], config.assoc,
                                      key);
-    // The packed key is a filter; the cold (pid, vpn) pair is the
-    // authority. Confirming candidates in way order rejects a key
-    // collision and moves on, so the hit way — and with it the probe
-    // count, modeled cost, and LRU stamp — is exactly what a full
-    // per-way tag scan would produce.
+    // The packed key is a filter; the cold packed (pid, vpn) word is
+    // the authority (injective, one compare). Confirming candidates
+    // in way order rejects a key collision and moves on, so the hit
+    // way — and with it the probe count, modeled cost, and LRU stamp
+    // — is exactly what a full per-way tag scan would produce.
+    const std::uint64_t pv = packPidVpn(pid, vpn);
     while (mask != 0) {
         unsigned w = static_cast<unsigned>(std::countr_zero(mask));
         Cold &c = cold[base + w];
-        if (Loads::pid(c) == pid && Loads::vpn(c) == vpn) {
+        if (Loads::pidVpn(c) == pv) {
             way = w;
             pfn = Loads::pfn(c);
             return w + 1;
@@ -235,8 +225,8 @@ SharedUtlbCache::lookupRun(ProcId pid, Vpn start, std::size_t n,
     std::size_t i = 0;
     for (; i < n; ++i) {
         Cold &c = cold[set];
-        if (tagWords[set] != tagKey(pid, start + i) || c.pid != pid
-            || c.vpn != start + i)
+        if (tagWords[set] != tagKey(pid, start + i)
+            || c.pidVpn != packPidVpn(pid, start + i))
             break;  // first miss: record nothing, caller re-probes
         c.lastUse = ++useClock;
         pfns[i] = c.pfn;
@@ -268,8 +258,8 @@ SharedUtlbCache::hitViaRef(LineRef &ref, ProcId pid, Vpn vpn,
     Cold &c = cold[idx];
     // Revalidate the packed word first (0 = reclaimed), then the
     // full tags: any churn since the mint is a clean miss.
-    if (tagWords[idx] != tagKey(pid, vpn) || c.pid != pid
-        || c.vpn != vpn)
+    if (tagWords[idx] != tagKey(pid, vpn)
+        || c.pidVpn != packPidVpn(pid, vpn))
         return false;
     // A ref pins the exact way that served the original hit (for
     // refs minted by lookupRun, always way 0 of a direct-mapped
@@ -382,8 +372,8 @@ SharedUtlbCache::stampLineLocked(std::size_t set, unsigned way,
     // stamp here would resurrect a dead or foreign way. The tag word
     // distinguishes "same tags, still live" from "killed, cold tags
     // stale".
-    if (tagWords[idx] == tagKey(pid, vpn) && c.pid == pid
-        && c.vpn == vpn)
+    if (tagWords[idx] == tagKey(pid, vpn)
+        && c.pidVpn == packPidVpn(pid, vpn))
         c.lastUse = nextStamp(sh);
 }
 
@@ -462,8 +452,8 @@ SharedUtlbCache::lookupRunMT(ProcId pid, Vpn start, std::size_t n,
                 // Re-validate: a concurrent writer may have
                 // reclaimed the way since the optimistic read, and
                 // a skipped stamp is the only correct outcome then.
-                if (tagWords[idx] == tagKey(pid, v) && c.pid == pid
-                    && c.vpn == v)
+                if (tagWords[idx] == tagKey(pid, v)
+                    && c.pidVpn == packPidVpn(pid, v))
                     c.lastUse = nextStamp(sh);
             }
             if (windowI == 0 && first_hit) {
@@ -505,8 +495,8 @@ SharedUtlbCache::hitViaRefMT(LineRef &ref, ProcId pid, Vpn vpn,
     if (seqs[set].value() != ref.version)
         return false;
     Cold &c = cold[idx];
-    if (tagWords[idx] != tagKey(pid, vpn) || c.pid != pid
-        || c.vpn != vpn)
+    if (tagWords[idx] != tagKey(pid, vpn)
+        || c.pidVpn != packPidVpn(pid, vpn))
         return false;
     out.hit = true;
     out.pfn = c.pfn;
@@ -526,9 +516,13 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
                           InsertMode mode, Shard &sh)
 {
     ++sh.inserts;
+    UTLB_ASSERT((vpn >> 32) == 0,
+                "vpn 0x%llx exceeds the 32-bit packed pid/vpn field",
+                static_cast<unsigned long long>(vpn));
     std::size_t set = setIndex(pid, vpn);
     std::size_t base = set * config.assoc;
     std::uint64_t key = tagKey(pid, vpn);
+    const std::uint64_t pv = packPidVpn(pid, vpn);
     sim::SeqCount &seq = seqs[set];
     sim::SpinGuard g(stripeOf(set));
 
@@ -537,8 +531,7 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
     // store needs the version bump — the tags are unchanged.
     for (unsigned w = 0; w < config.assoc; ++w) {
         Cold &c = cold[base + w];
-        if (tagWords[base + w] == key && c.pid == pid
-            && c.vpn == vpn) {
+        if (tagWords[base + w] == key && c.pidVpn == pv) {
             seq.writeBegin();
             storeRelaxed(c.pfn, pfn);
             seq.writeEnd();
@@ -556,8 +549,7 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
         if (tagWords[base + w] == 0) {
             Cold &c = cold[base + w];
             seq.writeBegin();
-            storeRelaxed(c.pid, pid);
-            storeRelaxed(c.vpn, vpn);
+            storeRelaxed(c.pidVpn, pv);
             storeRelaxed(c.pfn, pfn);
             storeRelaxed(tagWords[base + w], key);
             seq.writeEnd();
@@ -575,10 +567,10 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
             vw = w;
     }
     Cold &victim = cold[base + vw];
-    EvictedEntry out{victim.pid, victim.vpn, victim.pfn};
+    EvictedEntry out{pidOfPacked(victim.pidVpn),
+                     vpnOfPacked(victim.pidVpn), victim.pfn};
     seq.writeBegin();
-    storeRelaxed(victim.pid, pid);
-    storeRelaxed(victim.vpn, vpn);
+    storeRelaxed(victim.pidVpn, pv);
     storeRelaxed(victim.pfn, pfn);
     storeRelaxed(tagWords[base + vw], key);
     seq.writeEnd();
@@ -617,9 +609,13 @@ std::optional<EvictedEntry>
 SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
 {
     ++statInserts;
+    UTLB_ASSERT((vpn >> 32) == 0,
+                "vpn 0x%llx exceeds the 32-bit packed pid/vpn field",
+                static_cast<unsigned long long>(vpn));
     std::size_t set = setIndex(pid, vpn);
     std::size_t base = set * config.assoc;
     std::uint64_t key = tagKey(pid, vpn);
+    const std::uint64_t pv = packPidVpn(pid, vpn);
 
     // Re-insert over an existing entry (refresh). A prefetch refresh
     // updates the translation but not the recency: the NIC never
@@ -627,8 +623,7 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
     // order of the set (§6.4).
     for (unsigned w = 0; w < config.assoc; ++w) {
         Cold &c = cold[base + w];
-        if (tagWords[base + w] == key && c.pid == pid
-            && c.vpn == vpn) {
+        if (tagWords[base + w] == key && c.pidVpn == pv) {
             c.pfn = pfn;
             if (mode == InsertMode::Demand)
                 c.lastUse = ++useClock;
@@ -640,7 +635,7 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
     // Fill an invalid way if one exists.
     for (unsigned w = 0; w < config.assoc; ++w) {
         if (tagWords[base + w] == 0) {
-            cold[base + w] = Cold{pid, pfn, vpn, ++useClock};
+            cold[base + w] = Cold{pv, pfn, ++useClock};
             tagWords[base + w] = key;
             return std::nullopt;
         }
@@ -653,8 +648,9 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
             vw = w;
     }
     Cold &victim = cold[base + vw];
-    EvictedEntry out{victim.pid, victim.vpn, victim.pfn};
-    victim = Cold{pid, pfn, vpn, ++useClock};
+    EvictedEntry out{pidOfPacked(victim.pidVpn),
+                     vpnOfPacked(victim.pidVpn), victim.pfn};
+    victim = Cold{pv, pfn, ++useClock};
     tagWords[base + vw] = key;
     ++statEvictions;
     return out;
@@ -676,10 +672,10 @@ SharedUtlbCache::invalidate(ProcId pid, Vpn vpn)
         bool dropped = false;
         {
             sim::SpinGuard g(stripeOf(set));
+            const std::uint64_t pv = packPidVpn(pid, vpn);
             for (unsigned w = 0; w < config.assoc; ++w) {
                 Cold &c = cold[base + w];
-                if (tagWords[base + w] == key && c.pid == pid
-                    && c.vpn == vpn) {
+                if (tagWords[base + w] == key && c.pidVpn == pv) {
                     seqs[set].writeBegin();
                     storeRelaxed(tagWords[base + w],
                                  std::uint64_t{0});
@@ -709,7 +705,8 @@ SharedUtlbCache::evictLruOfProcess(ProcId pid)
 {
     std::size_t victim = config.entries;
     for (std::size_t idx = 0; idx < config.entries; ++idx) {
-        if (tagWords[idx] == 0 || cold[idx].pid != pid)
+        if (tagWords[idx] == 0
+            || pidOfPacked(cold[idx].pidVpn) != pid)
             continue;
         if (victim == config.entries
             || cold[idx].lastUse < cold[victim].lastUse)
@@ -717,7 +714,8 @@ SharedUtlbCache::evictLruOfProcess(ProcId pid)
     }
     if (victim == config.entries)
         return std::nullopt;
-    EvictedEntry out{cold[victim].pid, cold[victim].vpn,
+    EvictedEntry out{pidOfPacked(cold[victim].pidVpn),
+                     vpnOfPacked(cold[victim].pidVpn),
                      cold[victim].pfn};
     killWay(victim);
     ++statSheds;
@@ -729,7 +727,8 @@ SharedUtlbCache::invalidateProcess(ProcId pid)
 {
     std::size_t count = 0;
     for (std::size_t idx = 0; idx < config.entries; ++idx) {
-        if (tagWords[idx] != 0 && cold[idx].pid == pid) {
+        if (tagWords[idx] != 0
+            && pidOfPacked(cold[idx].pidVpn) == pid) {
             killWay(idx);
             ++count;
         }
@@ -765,7 +764,8 @@ SharedUtlbCache::occupancyOf(ProcId pid) const
 {
     std::size_t count = 0;
     for (std::size_t idx = 0; idx < config.entries; ++idx) {
-        if (tagWords[idx] != 0 && cold[idx].pid == pid)
+        if (tagWords[idx] != 0
+            && pidOfPacked(cold[idx].pidVpn) == pid)
             ++count;
     }
     return count;
@@ -791,45 +791,46 @@ SharedUtlbCache::audit(check::AuditReport &report) const
                                    c.lastUse));
                 continue;
             }
+            const mem::ProcId cpid = pidOfPacked(c.pidVpn);
+            const mem::Vpn cvpn = vpnOfPacked(c.pidVpn);
             // Packed-tag coherence: the tag word must be exactly the
             // key of the cold tags, or probes see a different entry
             // than the one stored (an invisible line or a phantom
             // candidate that the cold confirm then rejects).
-            report.require(tagWords[base + w] == tagKey(c.pid, c.vpn),
+            report.require(tagWords[base + w] == tagKey(cpid, cvpn),
                            "way %u of set %zu: packed tag word "
                            "0x%llx does not match cold tags "
                            "(pid %u, vpn %llu)",
                            w, set,
                            static_cast<unsigned long long>(
                                tagWords[base + w]),
-                           c.pid,
-                           static_cast<unsigned long long>(c.vpn));
+                           cpid,
+                           static_cast<unsigned long long>(cvpn));
             // Tag/process-offset integrity: a line must live in the
             // set its (pid, vpn) hashes to, or lookups will silently
             // miss it (cross-process aliasing shows up the same way).
-            std::size_t home = setIndex(c.pid, c.vpn);
+            std::size_t home = setIndex(cpid, cvpn);
             report.require(home == set,
                            "line (pid %u, vpn %llu) stored in set %zu "
                            "but indexes to set %zu",
-                           c.pid,
-                           static_cast<unsigned long long>(c.vpn),
+                           cpid,
+                           static_cast<unsigned long long>(cvpn),
                            set, home);
             report.require(c.lastUse <= useClock,
                            "line (pid %u, vpn %llu) LRU stamp %llu is "
                            "ahead of the use clock %llu",
-                           c.pid,
-                           static_cast<unsigned long long>(c.vpn),
+                           cpid,
+                           static_cast<unsigned long long>(cvpn),
                            static_cast<unsigned long long>(c.lastUse),
                            static_cast<unsigned long long>(useClock));
             for (unsigned w2 = w + 1; w2 < config.assoc; ++w2) {
                 const Cold &dup = cold[base + w2];
                 report.require(tagWords[base + w2] == 0
-                                   || dup.pid != c.pid
-                                   || dup.vpn != c.vpn,
+                                   || dup.pidVpn != c.pidVpn,
                                "duplicate (pid %u, vpn %llu) in ways "
                                "%u and %u of set %zu",
-                               c.pid,
-                               static_cast<unsigned long long>(c.vpn),
+                               cpid,
+                               static_cast<unsigned long long>(cvpn),
                                w, w2, set);
             }
         }

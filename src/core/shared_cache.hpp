@@ -426,16 +426,42 @@ class SharedUtlbCache
     /**
      * Per-way cold payload, parallel to the packed tag words: the
      * full (pid, vpn) tags that make every hit exact (the packed key
-     * is only a filter), the frame, and the LRU stamp. 32 bytes, so
-     * two ways share a cache line — but the probe loop never touches
+     * is only a filter), the frame, and the LRU stamp. The two tags
+     * share one 64-bit word (packPidVpn) — the confirm compare is a
+     * single load-and-compare, and at 24 bytes nearly three ways fit
+     * a cache line instead of two — but the probe loop never touches
      * it until the tag mask has already named a candidate way.
      */
     struct Cold {
-        mem::ProcId pid = 0;
+        std::uint64_t pidVpn = 0;  //!< packPidVpn(pid, vpn)
         mem::Pfn pfn = mem::kInvalidPfn;
-        mem::Vpn vpn = 0;
         std::uint64_t lastUse = 0;
     };
+
+    /**
+     * The exact (pid, vpn) pair as one word: pid in the top 32 bits,
+     * vpn in the bottom 32. Unlike tagKey this is an injective
+     * encoding, so comparing packed words IS comparing the full tags
+     * — provided the vpn fits 32 bits, which install paths assert
+     * (a 32-bit vpn spans 16 TB of 4 KB pages, far beyond the
+     * simulated address spaces; the paper's own NIC tables are lossy
+     * 8-bit tags, §4.2).
+     */
+    static std::uint64_t packPidVpn(mem::ProcId pid, mem::Vpn vpn)
+    {
+        return (static_cast<std::uint64_t>(pid) << 32) |
+               static_cast<std::uint64_t>(vpn);
+    }
+
+    static mem::ProcId pidOfPacked(std::uint64_t pv)
+    {
+        return static_cast<mem::ProcId>(pv >> 32);
+    }
+
+    static mem::Vpn vpnOfPacked(std::uint64_t pv)
+    {
+        return static_cast<mem::Vpn>(pv & 0xffffffffull);
+    }
 
     /**
      * The packed tag word for (pid, vpn): a fixed multiplicative mix

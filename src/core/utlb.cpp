@@ -194,6 +194,10 @@ UserUtlb::attachFillPipeline(FillPipeline *fp)
                 std::make_unique<FillTicket[]>(kMaxOutstandingFills);
         asyncPending.reserve(kMaxOutstandingFills);
         asyncWaiters.reserve(kMaxOutstandingFills);
+        // Fresh modeled DMA engines per attachment: a re-attached
+        // view starts with every engine idle and its clock at zero.
+        asyncClock = 0;
+        engineReadyAt.assign(kMaxOutstandingFills, 0);
     }
 }
 
@@ -365,13 +369,21 @@ UserUtlb::nicRangeAsync(Vpn start, std::size_t npages, mem::Pfn *slots,
     asyncWaiters.clear();
 
     // Modeled overlap accounting. tNow is the worker's modeled clock
-    // within this window (ticks of NIC service it has consumed); a
-    // posted fill starts its DMA at post time on a single modeled
-    // fill engine and runs concurrently with the worker's subsequent
-    // hit service. At collection only the residual stall —
-    // completion time minus the worker's clock — is charged to
-    // nicCost, so the window's modeled cost reflects the overlap.
-    sim::Tick tNow = 0;
+    // (ticks of NIC service it has consumed); a posted fill starts
+    // its DMA at post time on its slot's modeled fill engine and runs
+    // concurrently with the worker's subsequent hit service. Without
+    // carry the clock is per window and each fill's residual stall —
+    // completion time minus the worker's clock — is charged at
+    // collection; with carry (cfg.asyncCarryFills) the clock persists
+    // across windows, nothing is charged at the window edge, and a
+    // fill still in flight then costs only whichever later post needs
+    // its engine before engineReadyAt.
+    const bool carry = cfg.asyncCarryFills;
+    sim::Tick tNow = carry ? asyncClock : 0;
+
+    // Engines already claimed by this window's pending fills (carry
+    // mode allocates the free engine that is ready soonest).
+    std::uint32_t engineUsed = 0;
 
     std::size_t i = 0;
     CacheProbe fast;
@@ -435,12 +447,41 @@ UserUtlb::nicRangeAsync(Vpn start, std::size_t npages, mem::Pfn *slots,
         // Post a fill and keep walking: later pages of the buffer are
         // served (hits and all) while the fill thread DMAs this one.
         if (asyncPending.size() < kMaxOutstandingFills) {
-            FillTicket &t = tickets[asyncPending.size()];
+            // Carry mode: take the free modeled engine that is ready
+            // soonest (lowest index breaks ties), so a window never
+            // stalls on a busy engine while an idle one exists.
+            // Without carry every engine is idle at window start and
+            // the next unused slot is equivalent.
+            std::size_t slot = asyncPending.size();
+            if (carry) {
+                bool found = false;
+                for (std::size_t e = 0; e < kMaxOutstandingFills;
+                     ++e) {
+                    if (engineUsed & (1u << e))
+                        continue;
+                    if (!found ||
+                        engineReadyAt[e] < engineReadyAt[slot]) {
+                        slot = e;
+                        found = true;
+                    }
+                }
+            }
+            FillTicket &t = tickets[slot];
             if (fillPipe->post(t, procId, vpn, cfg.prefetchEntries)) {
                 ++statAsyncFills;
+                engineUsed |= 1u << slot;
+                if (carry && engineReadyAt[slot] > tNow) {
+                    // The engine is still finishing a previous
+                    // window's DMA: the carried residual is charged
+                    // here, to the post that actually had to wait.
+                    sim::Tick stall = engineReadyAt[slot] - tNow;
+                    tr.nicCost += stall;
+                    tNow += stall;
+                }
                 asyncPending.push_back(
-                    {static_cast<std::uint32_t>(i), probe.cost, tNow,
-                     &t});
+                    {static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(slot), probe.cost,
+                     tNow, &t});
                 ++i;
                 continue;
             }
@@ -459,11 +500,16 @@ UserUtlb::nicRangeAsync(Vpn start, std::size_t npages, mem::Pfn *slots,
     // slot is its own modeled DMA engine — the bounded-window model
     // of the paper's firmware posting a translation-miss DMA per miss
     // and letting them complete out of order — so fill k completes at
-    // postTick + cost, independent of its siblings. Waiting on the
-    // first fill advances the worker's clock past most of the others'
-    // completion times: their DMA ran hidden behind the stall and
-    // costs the window nothing. Only time not yet covered by tNow is
-    // charged.
+    // postTick + cost, independent of its siblings.
+    //
+    // Without carry, waiting on the first fill advances the worker's
+    // clock past most of the others' completion times: their DMA ran
+    // hidden behind the stall and costs the window nothing; only time
+    // not yet covered by tNow is charged. With carry the wall-clock
+    // wait still happens (the pfn must be correct before we return)
+    // but no modeled time is charged at the edge at all: the engine
+    // just stays busy until postTick + cost, and a later window's
+    // post pays the residual if it needs the engine early.
     for (const PendingFill &p : asyncPending) {
         fillPipe->waitDone(*p.ticket);
         const MissOutcome &mo = p.ticket->result;
@@ -473,13 +519,24 @@ UserUtlb::nicRangeAsync(Vpn start, std::size_t npages, mem::Pfn *slots,
         }
         statPrefetchInstalls += mo.prefetchInstalls;
         sim::Tick done = p.postTick + mo.cost;
-        sim::Tick stall = done > tNow ? done - tNow : 0;
-        statAsyncHiddenTicks += static_cast<std::uint64_t>(
-            mo.cost - (stall < mo.cost ? stall : mo.cost));
-        tr.nicCost += stall;
-        tNow += stall;
-        statTranslateLatency.sample(
-            sim::ticksToUs(p.probeCost + stall));
+        if (carry) {
+            sim::Tick hidden =
+                tNow > p.postTick ? tNow - p.postTick : 0;
+            statAsyncHiddenTicks += static_cast<std::uint64_t>(
+                hidden < mo.cost ? hidden : mo.cost);
+            engineReadyAt[p.slot] = done;
+            if (done > tNow)
+                ++statAsyncCarried;
+            statTranslateLatency.sample(sim::ticksToUs(p.probeCost));
+        } else {
+            sim::Tick stall = done > tNow ? done - tNow : 0;
+            statAsyncHiddenTicks += static_cast<std::uint64_t>(
+                mo.cost - (stall < mo.cost ? stall : mo.cost));
+            tr.nicCost += stall;
+            tNow += stall;
+            statTranslateLatency.sample(
+                sim::ticksToUs(p.probeCost + stall));
+        }
         slots[p.page] = mo.pfn;
     }
     asyncPending.clear();
@@ -507,6 +564,11 @@ UserUtlb::nicRangeAsync(Vpn start, std::size_t npages, mem::Pfn *slots,
         tNow += tr.nicCost - before;
     }
     asyncWaiters.clear();
+
+    // Persist the view's modeled clock so the next window's posts
+    // compare against the engines' busy-until times on one timeline.
+    if (carry)
+        asyncClock = tNow;
 }
 
 } // namespace utlb::core

@@ -51,6 +51,21 @@ struct UtlbConfig {
     std::size_t prefetchEntries = 1;
 
     /**
+     * Let posted fills' modeled DMA time survive translateRange()
+     * window boundaries: each outstanding-fill slot is a modeled DMA
+     * engine whose busy-until time persists on the view, so a fill
+     * still in flight when a window ends charges nothing at the edge
+     * — its residual cost is paid lazily, by the first later post
+     * that needs the engine before it is ready. Models the paper's
+     * firmware keeping translation-miss DMAs outstanding across
+     * message boundaries. false restores the per-window accounting
+     * (every fill settled at its own window's end). Translation
+     * *results* are identical either way; only the modeled cost
+     * attribution differs.
+     */
+    bool asyncCarryFills = true;
+
+    /**
      * Build this process' UTLB view for multi-threaded use: arms the
      * shared cache's striped locking and the pin manager's mutex,
      * and gives this instance a per-worker stat shard. One thread
@@ -282,8 +297,9 @@ class UserUtlb
     /** One in-flight fill of the current window. */
     struct PendingFill {
         std::uint32_t page;  //!< page index within the buffer
+        std::uint32_t slot;  //!< modeled DMA engine (ticket index)
         sim::Tick probeCost; //!< the missing probe's modeled cost
-        sim::Tick postTick;  //!< window-relative modeled post time
+        sim::Tick postTick;  //!< modeled post time (view clock)
         FillTicket *ticket;
     };
 
@@ -292,6 +308,18 @@ class UserUtlb
 
     /** Pages covered by an in-flight neighbour fill (re-probed). */
     std::vector<std::uint32_t> asyncWaiters;
+
+    /**
+     * Cross-window modeled state (asyncCarryFills): the view's
+     * persistent modeled clock, and per outstanding-fill slot the
+     * modeled time its DMA engine frees up. engineReadyAt[k] >
+     * asyncClock means slot k's last fill is still in flight at the
+     * model level even though its wall-clock ticket has completed —
+     * the residual is charged to whichever later post next needs
+     * that engine.
+     */
+    sim::Tick asyncClock = 0;
+    std::vector<sim::Tick> engineReadyAt;
 
     /**
      * Per-worker shared-cache context (concurrent mode only). Like
@@ -323,6 +351,11 @@ class UserUtlb
                                     "because the fill queue was full, "
                                     "stopped, or the outstanding "
                                     "window was exhausted"};
+    sim::Counter statAsyncCarried{&statsGrp, "async_carried_fills",
+                                  "fills whose modeled DMA was still "
+                                  "in flight when their window ended "
+                                  "(residual cost carried into a "
+                                  "later window)"};
     sim::Counter statAsyncHiddenTicks{&statsGrp, "async_hidden_ticks",
                                       "modeled miss-service ticks "
                                       "hidden behind concurrent hit "

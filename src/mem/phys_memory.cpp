@@ -22,6 +22,7 @@ PhysMemory::PhysMemory(std::size_t frames)
 std::optional<Pfn>
 PhysMemory::allocFrame(ProcId owner)
 {
+    auto lk = guard();
     if (freeList.empty())
         return std::nullopt;
     Pfn pfn = freeList.back();
@@ -38,6 +39,7 @@ PhysMemory::allocFrame(ProcId owner)
 void
 PhysMemory::freeFrame(Pfn pfn)
 {
+    auto lk = guard();
     if (pfn >= owners.size() || owners[pfn] == kNoOwner)
         panic("freeFrame of unallocated frame %llu",
               static_cast<unsigned long long>(pfn));
@@ -50,12 +52,14 @@ PhysMemory::freeFrame(Pfn pfn)
 ProcId
 PhysMemory::ownerOf(Pfn pfn) const
 {
+    auto lk = guard();
     return pfn < owners.size() ? owners[pfn] : kNoOwner;
 }
 
 bool
 PhysMemory::isAllocated(Pfn pfn) const
 {
+    auto lk = guard();
     return pfn < owners.size() && owners[pfn] != kNoOwner;
 }
 

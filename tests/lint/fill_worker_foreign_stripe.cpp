@@ -1,0 +1,37 @@
+// Known-bad fixture for scripts/concurrency_lint.py (never compiled).
+//
+// A fill-pool drain loop that services whatever ticket it pops,
+// without proving the ticket's stripe residue class belongs to this
+// worker. Stripe ownership is the pool's whole concurrency argument:
+// without the ownsStripe() check two fill threads can race on one
+// stripe lock's FIFO order, and same-stripe fills lose their post
+// order.
+//
+// utlb-lint-expect: fill-stripe-ownership
+
+#include <cstddef>
+#include <cstdint>
+
+struct FillTicket {
+    unsigned pid;
+    std::uint64_t vpn;
+    std::size_t width;
+    int result;
+};
+
+int serviceMiss(unsigned pid, std::uint64_t vpn, std::size_t width);
+bool ownsStripe(std::size_t worker, unsigned pid, std::uint64_t vpn);
+FillTicket *popTicket();
+
+// utlb-lint: fill-worker
+void
+drainForeignStripes(std::size_t workerIndex)
+{
+    (void)workerIndex;
+    while (FillTicket *t = popTicket()) {
+        // BAD: no ownsStripe() check before touching the cache on
+        // this ticket's behalf -- the ticket may belong to another
+        // worker's stripe residue class.
+        t->result = serviceMiss(t->pid, t->vpn, t->width);
+    }
+}

@@ -16,6 +16,11 @@ struct Line {
     std::uint64_t pfn;
 };
 
+struct PackedLine {
+    std::uint64_t pidVpn; // packed cold key: pid<<52 | vpn
+    std::uint64_t pfn;
+};
+
 struct SeqCount {
     std::uint32_t readBegin() const;
     bool readRetry(std::uint32_t) const;
@@ -30,6 +35,20 @@ rawProbe(SeqCount &seq, const Line &line, unsigned pid,
         std::uint64_t out = 0;
         // BAD: naked field reads, racing with locked writers.
         if (line.valid && line.pid == pid && line.vpn == vpn)
+            out = line.pfn;
+        if (!seq.readRetry(v))
+            return out;
+    }
+}
+
+std::uint64_t
+rawPackedProbe(SeqCount &seq, const PackedLine &line, std::uint64_t key)
+{
+    for (;;) {
+        std::uint32_t v = seq.readBegin();
+        std::uint64_t out = 0;
+        // BAD: naked read of the packed cold key.
+        if (line.pidVpn == key)
             out = line.pfn;
         if (!seq.readRetry(v))
             return out;

@@ -80,12 +80,17 @@ struct TestTamper {
                 if (c.tagWords[idx] == 0)
                     continue;
                 auto &cw = c.cold[idx];
+                mem::ProcId pid =
+                    core::SharedUtlbCache::pidOfPacked(cw.pidVpn);
+                mem::Vpn vpn =
+                    core::SharedUtlbCache::vpnOfPacked(cw.pidVpn);
                 for (mem::Vpn delta = 1; delta < 64; ++delta) {
-                    if (c.setIndex(cw.pid, cw.vpn + delta) != set) {
-                        cw.vpn += delta;
+                    if (c.setIndex(pid, vpn + delta) != set) {
+                        cw.pidVpn = core::SharedUtlbCache::packPidVpn(
+                            pid, vpn + delta);
                         c.tagWords[idx] =
-                            core::SharedUtlbCache::tagKey(cw.pid,
-                                                          cw.vpn);
+                            core::SharedUtlbCache::tagKey(
+                                pid, vpn + delta);
                         return true;
                     }
                 }

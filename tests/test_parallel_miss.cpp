@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Parallel miss-service suite: the fill-thread pool, the sharded
+ * driver, and the cross-window outstanding-fill model.
+ *
+ * The three promises under test:
+ *
+ *  1. Pool semantics — a fill pool of any size drains every accepted
+ *     ticket exactly once (stripe-residue routing keeps each stripe
+ *     on one thread), and the stress loops are clean under
+ *     UTLB_SANITIZE=thread at pool sizes 1, 2, and 4.
+ *  2. Shard transparency — the sharded driver is semantically
+ *     invisible: a single-threaded workload produces identical
+ *     translations at any shard count, identical stats dumps between
+ *     same-shard-count runs, and merge-on-read stats whose integer
+ *     fields (counters, sample counts, buckets, overflow) match the
+ *     monolithic driver exactly; only float summaries (histogram
+ *     means) may differ in the last bits from merge association
+ *     order.
+ *  3. Carry model — asyncCarryFills changes only modeled cost
+ *     accounting: translations are identical with the flag on and
+ *     off, and the carry run actually carries fills across windows
+ *     (async_carried_fills > 0) while the off run charges every
+ *     residual at its own window edge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "core/driver.hpp"
+#include "core/fill_pipeline.hpp"
+#include "core/shared_cache.hpp"
+#include "core/utlb.hpp"
+#include "mem/address_space.hpp"
+#include "mem/phys_memory.hpp"
+#include "mem/pinning.hpp"
+#include "nic/sram.hpp"
+#include "nic/timing.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace utlb::core;
+using utlb::check::AuditReport;
+using utlb::mem::Vpn;
+using utlb::sim::Rng;
+
+/** One registered-process stack with a configurable driver. */
+struct Stack {
+    utlb::mem::PhysMemory phys;
+    utlb::mem::PinFacility pins;
+    utlb::nic::Sram sram;
+    utlb::nic::NicTimings timings;
+    HostCosts costs;
+    SharedUtlbCache cache;
+    UtlbDriver driver;
+    std::vector<std::unique_ptr<utlb::mem::AddressSpace>> spaces;
+
+    explicit Stack(std::size_t entries = 1024, std::size_t nprocs = 1,
+                   unsigned shards = 1)
+        : phys(16384), sram(4u << 20),
+          costs(HostProfile::PentiumIINT),
+          cache(CacheConfig{entries, 1, true}, timings, &sram),
+          driver(phys, pins, sram, cache, costs, shards)
+    {
+        for (std::size_t p = 1; p <= nprocs; ++p) {
+            spaces.push_back(
+                std::make_unique<utlb::mem::AddressSpace>(p, phys));
+            driver.registerProcess(*spaces.back());
+        }
+    }
+
+    std::unique_ptr<UserUtlb>
+    makeView(utlb::mem::ProcId pid, const UtlbConfig &cfg)
+    {
+        return std::make_unique<UserUtlb>(driver, cache, timings,
+                                          pid, cfg);
+    }
+};
+
+/** Counter value by name from any stats subtree. */
+std::uint64_t
+counterValue(const utlb::sim::StatGroup &grp, const char *name)
+{
+    const auto *stat = grp.find(name);
+    EXPECT_NE(stat, nullptr) << name;
+    return stat ? static_cast<const utlb::sim::Counter *>(stat)
+                      ->value()
+                : 0;
+}
+
+// ---------------------------------------------------------------------
+// Fill-thread pool
+// ---------------------------------------------------------------------
+
+TEST(FillPool, EveryPoolSizeDrainsEveryTicket)
+{
+    // Direct posts across a spread of stripes at pool sizes 1, 2,
+    // and 4: routing by stripe residue must hand each ticket to the
+    // thread owning its stripe (the drain loop asserts ownership),
+    // every ticket completes, and pool size never changes what gets
+    // installed.
+    for (std::size_t pool : {std::size_t{1}, std::size_t{2},
+                             std::size_t{4}}) {
+        SCOPED_TRACE("pool " + std::to_string(pool));
+        Stack st;
+        ASSERT_EQ(st.driver.ioctlPinAndInstall(1, 0, 512).status,
+                  utlb::mem::PinStatus::Ok);
+        FillPipeline fp(st.driver, st.cache, st.timings, 64, pool);
+        EXPECT_EQ(fp.poolSize(), pool);
+
+        constexpr std::size_t kFills = 64;
+        FillTicket tickets[kFills];
+        for (std::size_t i = 0; i < kFills; ++i)
+            ASSERT_TRUE(fp.post(tickets[i], 1, i * 8, 8)) << i;
+        for (std::size_t i = 0; i < kFills; ++i) {
+            fp.waitDone(tickets[i]);
+            EXPECT_TRUE(tickets[i].result.ok) << "fill " << i;
+        }
+        fp.stop();
+        EXPECT_EQ(fp.fillsCompleted(), kFills);
+        EXPECT_EQ(counterValue(fp.stats(), "fills_posted"), kFills);
+        for (std::size_t i = 0; i < kFills; ++i)
+            EXPECT_TRUE(st.cache.lookup(1, i * 8).hit)
+                << "vpn " << i * 8;
+
+        AuditReport report;
+        st.cache.audit(report);
+        st.driver.audit(report);
+        EXPECT_TRUE(report.ok()) << report.summary();
+    }
+}
+
+TEST(FillPool, PinChurnStressAuditsCleanAtEveryPoolSize)
+{
+    // The FillsVsPinChurnStress shape from the single-thread pipeline
+    // suite, swept over pool sizes: two workers under tight pin
+    // budgets drive async translateRange loops, so queue posts race
+    // each other, multiple fill threads install into disjoint stripe
+    // sets, and budget-forced unpins invalidate under the fills'
+    // feet. Run under UTLB_SANITIZE=thread to make this a race
+    // detector for the pool's ownership discipline.
+    for (std::size_t pool : {std::size_t{1}, std::size_t{2},
+                             std::size_t{4}}) {
+        SCOPED_TRACE("pool " + std::to_string(pool));
+        UtlbConfig cfg;
+        cfg.concurrent = true;
+        cfg.prefetchEntries = 8;
+        cfg.pin.memLimitPages = 96;
+
+        Stack st(512, 2);
+        auto v1 = st.makeView(1, cfg);
+        auto v2 = st.makeView(2, cfg);
+        FillPipeline fp(st.driver, st.cache, st.timings, 64, pool);
+        v1->attachFillPipeline(&fp);
+        v2->attachFillPipeline(&fp);
+
+        auto work = [](UserUtlb &view, std::uint64_t seed) {
+            Rng rng(seed);
+            for (int it = 0; it < 150; ++it) {
+                Vpn start = rng.below(512);
+                std::size_t n = 1 + rng.below(32);
+                view.translateRange(start * utlb::mem::kPageSize,
+                                    n * utlb::mem::kPageSize);
+            }
+        };
+        std::thread w1([&] { work(*v1, 0x9001 + pool); });
+        std::thread w2([&] { work(*v2, 0x9002 + pool); });
+        w1.join();
+        w2.join();
+
+        v1->attachFillPipeline(nullptr);
+        v2->attachFillPipeline(nullptr);
+        fp.stop();
+        // Drain conservation: every accepted post was serviced.
+        EXPECT_EQ(fp.fillsCompleted(),
+                  counterValue(fp.stats(), "fills_posted"));
+
+        v1->flushShardStats();
+        v2->flushShardStats();
+        AuditReport report;
+        st.cache.audit(report);
+        st.driver.audit(report);
+        v1->pinManager().audit(report);
+        v2->pinManager().audit(report);
+        EXPECT_TRUE(report.ok()) << report.summary();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded driver: golden equivalence
+// ---------------------------------------------------------------------
+
+/** Serialize a stack's driver + cache + pin-facility stats. */
+std::string
+statsDump(Stack &st)
+{
+    utlb::sim::StatGroup root{"stack"};
+    root.adopt(st.cache.stats());
+    root.adopt(st.driver.stats());
+    root.adopt(st.pins.stats());
+    std::ostringstream os;
+    root.dumpJson(os);
+    return os.str();
+}
+
+/**
+ * Structural JSON comparison with numeric tolerance: the non-numeric
+ * skeletons must match byte for byte, integer-formatted numbers
+ * (counters, sample counts, buckets, overflow) must match exactly,
+ * and float-formatted numbers (histogram means and bounds, whose
+ * merge-on-read summation order differs from sequential
+ * accumulation) must agree to 1e-9 relative. Returns a description
+ * of the first divergence, or "".
+ */
+std::string
+jsonDivergence(const std::string &a, const std::string &b)
+{
+    auto isNumChar = [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) || c == '.'
+            || c == '-' || c == '+' || c == 'e' || c == 'E';
+    };
+    auto numToken = [&](const std::string &s, std::size_t &i) {
+        std::size_t start = i;
+        while (i < s.size() && isNumChar(s[i]))
+            ++i;
+        return s.substr(start, i - start);
+    };
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        bool na = isNumChar(a[i]) && (std::isdigit(static_cast<
+                                          unsigned char>(a[i]))
+                                      || a[i] == '-');
+        bool nb = isNumChar(b[j]) && (std::isdigit(static_cast<
+                                          unsigned char>(b[j]))
+                                      || b[j] == '-');
+        if (na != nb)
+            return "skeleton diverged near offset "
+                + std::to_string(i);
+        if (!na) {
+            if (a[i] != b[j])
+                return "skeleton diverged near offset "
+                    + std::to_string(i);
+            ++i;
+            ++j;
+            continue;
+        }
+        std::string ta = numToken(a, i);
+        std::string tb = numToken(b, j);
+        if (ta == tb)
+            continue;
+        bool floatFmt =
+            ta.find_first_of(".eE") != std::string::npos
+            || tb.find_first_of(".eE") != std::string::npos;
+        if (!floatFmt)
+            return "integer field diverged: " + ta + " vs " + tb;
+        double va = std::strtod(ta.c_str(), nullptr);
+        double vb = std::strtod(tb.c_str(), nullptr);
+        double scale = std::max(std::abs(va), std::abs(vb));
+        if (std::abs(va - vb) > 1e-9 * std::max(scale, 1.0))
+            return "float field diverged: " + ta + " vs " + tb;
+    }
+    if (i != a.size() || j != b.size())
+        return "dumps differ in length";
+    return "";
+}
+
+/** Drive an ioctl-heavy 4-process workload single-threaded. */
+void
+runShardWorkload(Stack &st, std::vector<Translation> &out)
+{
+    UtlbConfig cfg;
+    cfg.prefetchEntries = 8;
+    cfg.pin.memLimitPages = 128;
+    std::vector<std::unique_ptr<UserUtlb>> views;
+    for (utlb::mem::ProcId pid = 1; pid <= 4; ++pid)
+        views.push_back(st.makeView(pid, cfg));
+    // Two passes over twice the pin budget per process, windows
+    // interleaved across pids so consecutive ioctls hit different
+    // shards (when there are shards to hit).
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Vpn w = 0; w < 256; w += 32) {
+            for (auto &v : views) {
+                out.push_back(v->translateRange(
+                    w * utlb::mem::kPageSize,
+                    32 * utlb::mem::kPageSize));
+            }
+        }
+    }
+}
+
+TEST(DriverShards, ShardingIsSemanticallyInvisible)
+{
+    Stack mono(1024, 4, 1);
+    Stack monoTwin(1024, 4, 1);
+    Stack sharded(1024, 4, 4);
+    std::vector<Translation> rMono, rTwin, rSharded;
+    runShardWorkload(mono, rMono);
+    runShardWorkload(monoTwin, rTwin);
+    runShardWorkload(sharded, rSharded);
+
+    ASSERT_EQ(rMono.size(), rSharded.size());
+    for (std::size_t i = 0; i < rMono.size(); ++i) {
+        const Translation &a = rMono[i];
+        const Translation &b = rSharded[i];
+        ASSERT_EQ(a.ok, b.ok) << "call " << i;
+        ASSERT_EQ(a.hostCost, b.hostCost) << "call " << i;
+        ASSERT_EQ(a.nicCost, b.nicCost) << "call " << i;
+        ASSERT_EQ(a.niMisses, b.niMisses) << "call " << i;
+        ASSERT_EQ(a.pageAddrs, b.pageAddrs) << "call " << i;
+        ASSERT_EQ(a.missPages, b.missPages) << "call " << i;
+    }
+
+    // One shard merges from one slot: bit-exact, so the full dump is
+    // string-identical between same-configuration runs.
+    EXPECT_EQ(statsDump(mono), statsDump(monoTwin));
+
+    // Four shards vs one: every integer field (counter values,
+    // histogram sample counts, buckets, overflow) must match
+    // exactly; float summaries only to merge-order tolerance.
+    std::string div = jsonDivergence(statsDump(mono),
+                                     statsDump(sharded));
+    EXPECT_EQ(div, "");
+
+    AuditReport report;
+    sharded.cache.audit(report);
+    sharded.driver.audit(report);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---------------------------------------------------------------------
+// Cross-window outstanding fills
+// ---------------------------------------------------------------------
+
+TEST(CrossWindowFills, CarryFlagChangesAccountingNotResults)
+{
+    // A capacity-miss stream (working set twice the cache) replayed
+    // through two async stacks, carry on vs off: every call's
+    // ok/pageAddrs must be identical — the carry model moves modeled
+    // cost between windows, never changes what a window returns. The
+    // carry run must actually carry (async_carried_fills > 0); the
+    // off run must never (every residual is charged at its own
+    // window's edge, PR-7 accounting).
+    //
+    // The shape is chosen for determinism: prefetch 1 means a fill
+    // covers only its own page, so no window page can race a
+    // neighbour's in-flight fill (no coalescing, no wall-clock-
+    // dependent hits), and 8-page all-miss windows post exactly
+    // kMaxOutstandingFills fills with no synchronous fallbacks. The
+    // hit/probe cost is shrunk so a window's modeled service (8 x
+    // 0.01 us of probes) ends long before its fills' DMAs (~1.8 us
+    // each) — the carried-residue regime.
+    auto runStream = [](bool carry, std::vector<Translation> &out)
+        -> std::uint64_t {
+        UtlbConfig cfg;
+        cfg.concurrent = true;
+        cfg.prefetchEntries = 1;
+        cfg.asyncCarryFills = carry;
+        Stack st(256);
+        st.timings.cacheHitCost = utlb::sim::usToTicks(0.01);
+        auto view = st.makeView(1, cfg);
+        FillPipeline fp(st.driver, st.cache, st.timings);
+        view->attachFillPipeline(&fp);
+        // Two passes over 512 pages through a 256-entry direct-
+        // mapped cache: every window of every pass is all-miss.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (Vpn w = 0; w < 512; w += 8) {
+                out.push_back(view->translateRange(
+                    w * utlb::mem::kPageSize,
+                    8 * utlb::mem::kPageSize));
+            }
+        }
+        view->attachFillPipeline(nullptr);
+        fp.stop();
+        return counterValue(view->stats(), "async_carried_fills");
+    };
+
+    std::vector<Translation> rCarry, rEdge;
+    std::uint64_t carried = runStream(true, rCarry);
+    std::uint64_t edgeCarried = runStream(false, rEdge);
+
+    ASSERT_EQ(rCarry.size(), rEdge.size());
+    for (std::size_t i = 0; i < rCarry.size(); ++i) {
+        ASSERT_EQ(rCarry[i].ok, rEdge[i].ok) << "window " << i;
+        ASSERT_EQ(rCarry[i].pageAddrs, rEdge[i].pageAddrs)
+            << "window " << i;
+    }
+    EXPECT_GT(carried, 0u);
+    EXPECT_EQ(edgeCarried, 0u);
+}
+
+TEST(CrossWindowFills, CarryStateResetsOnAttach)
+{
+    // Attaching a pipeline starts a fresh modeled timeline. Two
+    // identical stacks run the same two cold windows; stack A keeps
+    // one attachment (window 1 inherits window 0's busy engines and
+    // pays their residuals), stack B detaches and re-attaches in
+    // between (the reset forgets the residue). Results must agree
+    // either way; A's second window must be strictly costlier. Same
+    // deterministic all-miss shape as above: prefetch 1, 8-page
+    // windows, probes far cheaper than fills — window 0 parks all 8
+    // engines busy deep into window 1's timeline.
+    UtlbConfig cfg;
+    cfg.concurrent = true;
+    cfg.prefetchEntries = 1;
+    auto coldWindow = [](UserUtlb &v, Vpn base) {
+        return v.translateRange(base * utlb::mem::kPageSize,
+                                8 * utlb::mem::kPageSize);
+    };
+
+    Stack a(256), b(256);
+    a.timings.cacheHitCost = utlb::sim::usToTicks(0.01);
+    b.timings.cacheHitCost = utlb::sim::usToTicks(0.01);
+    auto va = a.makeView(1, cfg);
+    auto vb = b.makeView(1, cfg);
+    FillPipeline fpa(a.driver, a.cache, a.timings);
+    FillPipeline fpb(b.driver, b.cache, b.timings);
+
+    va->attachFillPipeline(&fpa);
+    ASSERT_TRUE(coldWindow(*va, 0).ok);
+    Translation contin = coldWindow(*va, 8);
+    va->attachFillPipeline(nullptr);
+    fpa.stop();
+
+    vb->attachFillPipeline(&fpb);
+    ASSERT_TRUE(coldWindow(*vb, 0).ok);
+    vb->attachFillPipeline(nullptr);
+    vb->attachFillPipeline(&fpb);
+    Translation fresh = coldWindow(*vb, 8);
+    vb->attachFillPipeline(nullptr);
+    fpb.stop();
+
+    ASSERT_TRUE(contin.ok);
+    ASSERT_TRUE(fresh.ok);
+    EXPECT_EQ(contin.pageAddrs, fresh.pageAddrs);
+    // Window 0's modeled DMAs outlive it, so the continuing stack's
+    // window 1 posts onto busy engines and pays carried stalls the
+    // re-attached stack never sees.
+    EXPECT_GT(contin.nicCost, fresh.nicCost);
+}
+
+} // namespace
