@@ -48,6 +48,7 @@
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
+#include "sim/zipf.hpp"
 
 namespace bench {
 
@@ -247,39 +248,12 @@ mtStatsDump(MtStack &stack)
 }
 
 /**
- * Zipf(alpha) sampler over {0, .., n-1} by inverse CDF, drawing from
- * the project's deterministic Rng: the same (n, alpha, seed) always
- * yields the same window sequence, so paired runs (async consistency,
- * repeated bench cells) replay identical workloads.
+ * Zipf(alpha) window picker — now the shared sim::ZipfPicker
+ * (src/sim/zipf.hpp), kept under its old name here so the bench
+ * cells' (n, alpha, seed) call sites read unchanged. Same seed
+ * contract: paired runs replay identical window sequences.
  */
-class ZipfPicker
-{
-  public:
-    ZipfPicker(std::size_t n, double alpha, std::uint64_t seed)
-        : rng(seed)
-    {
-        cdf.reserve(n);
-        double sum = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
-            cdf.push_back(sum);
-        }
-        for (double &c : cdf)
-            c /= sum;
-    }
-
-    std::size_t
-    next()
-    {
-        double u = rng.uniform();
-        return static_cast<std::size_t>(
-            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    }
-
-  private:
-    std::vector<double> cdf;
-    utlb::sim::Rng rng;
-};
+using ZipfPicker = utlb::sim::ZipfPicker;
 
 /**
  * Threads=1 golden equivalence: a concurrent-mode stack driven by

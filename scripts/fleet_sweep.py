@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Tenant-fleet fairness sweep: run bench_fleet over a tenant-count x
+Zipf-skew x pin-budget grid and (optionally) gate the fairness
+ablations.
+
+Each grid cell is one bench_fleet invocation; its utlb-bench-v1
+document lands in its own subdirectory of --out. The gate checks the
+properties the ISSUE pins down:
+
+  * index offsetting strictly reduces cross-tenant conflict
+    evictions against the paired offsetting-off cell;
+  * quota cells throttle (quota_throttles > 0) and quota-off cells
+    do not;
+  * per-tenant page counts re-add to the fleet total, the audits are
+    clean, and the live stat tree holds exactly one host_table group
+    per live tenant (stat-tree leak check).
+
+Usage:
+  scripts/fleet_sweep.py --bench build/bench/bench_fleet --smoke --gate
+  scripts/fleet_sweep.py --bench ... --tenants 256,1024 --alphas 0.8,1.2
+
+Standard library only; no external dependencies.
+"""
+
+import argparse
+import itertools
+import json
+import os
+import subprocess
+import sys
+
+
+def parse_args():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default="build/bench/bench_fleet",
+                    help="path to the bench_fleet binary")
+    ap.add_argument("--out", default="fleet-sweep",
+                    help="output directory (one subdir per cell)")
+    ap.add_argument("--tenants", default="64,256",
+                    help="comma-separated tenant counts")
+    ap.add_argument("--alphas", default="0.0,1.2",
+                    help="comma-separated Zipf alphas")
+    ap.add_argument("--budgets", default="off,weighted",
+                    help="comma-separated budget modes "
+                         "(off, hard, weighted)")
+    ap.add_argument("--threads", type=int, default=2)
+    ap.add_argument("--ops", type=int, default=3000,
+                    help="ops per worker thread")
+    ap.add_argument("--churn", type=float, default=0.02)
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI smoke grid: 64 tenants x 2 skews x "
+                         "2 pin budgets (overrides the grid flags)")
+    ap.add_argument("--gate", action="store_true",
+                    help="check fairness/conservation gates; "
+                         "nonzero exit on violation")
+    return ap.parse_args()
+
+
+def cell_name(tenants, alpha, budget, offsetting):
+    return "t%d_a%s_b%s_o%d" % (
+        tenants, str(alpha).replace(".", "p"), budget,
+        1 if offsetting else 0)
+
+
+def run_cell(opts, tenants, alpha, budget, offsetting):
+    name = cell_name(tenants, alpha, budget, offsetting)
+    cell_dir = os.path.join(opts.out, name)
+    os.makedirs(cell_dir, exist_ok=True)
+    cmd = [
+        opts.bench,
+        "--tenants", str(tenants),
+        "--alpha", str(alpha),
+        "--budget-mode", budget,
+        "--offsetting", "1" if offsetting else "0",
+        "--threads", str(opts.threads),
+        "--ops", str(opts.ops),
+        "--churn", str(opts.churn),
+        "--seed", str(opts.seed),
+    ]
+    env = dict(os.environ, UTLB_BENCH_JSON_DIR=cell_dir)
+    print("[fleet-sweep] %s" % name, flush=True)
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        raise SystemExit("[fleet-sweep] %s: bench_fleet failed "
+                         "(exit %d)" % (name, proc.returncode))
+    doc_path = os.path.join(cell_dir, "BENCH_fleet.json")
+    with open(doc_path) as f:
+        doc = json.load(f)
+    points = doc["points"]
+    summary = next(p["metrics"] for p in points
+                   if p["labels"].get("mode") == "summary")
+    conservation = next(p["metrics"] for p in points
+                        if p["labels"].get("mode") == "conservation")
+    tenant_points = [p["metrics"] for p in points
+                     if p["labels"].get("mode") == "tenant"]
+    return {
+        "name": name,
+        "tenants": tenants,
+        "alpha": alpha,
+        "budget": budget,
+        "offsetting": offsetting,
+        "summary": summary,
+        "conservation": conservation,
+        "tenant_points": tenant_points,
+    }
+
+
+def gate_cells(cells):
+    """Return a list of violation strings (empty = all gates hold)."""
+    bad = []
+
+    def fail(cell, msg):
+        bad.append("%s: %s" % (cell["name"], msg))
+
+    for c in cells:
+        s, k = c["summary"], c["conservation"]
+        if s["audit_clean"] != 1.0 or k["audit_clean"] != 1.0:
+            fail(c, "audit not clean (%d violations)"
+                 % int(k["audit_violations"]))
+        if k["stat_tree_tables"] != k["live_tenants"]:
+            fail(c, "stat tree holds %d host_table groups for %d "
+                 "live tenants (leak)"
+                 % (int(k["stat_tree_tables"]),
+                    int(k["live_tenants"])))
+        if k["sum_tenant_pages"] != k["pages"]:
+            fail(c, "per-tenant pages sum %d != fleet total %d"
+                 % (int(k["sum_tenant_pages"]), int(k["pages"])))
+        tp = sum(int(t["pages"]) for t in c["tenant_points"])
+        if c["tenant_points"] and tp != int(k["pages"]):
+            fail(c, "tenant points re-add to %d != %d" % (
+                tp, int(k["pages"])))
+        quota_on = c["budget"] != "off"
+        throttles = s["quota_throttles"]
+        if quota_on and throttles <= 0:
+            fail(c, "quota enabled but no throttles recorded")
+        if not quota_on and throttles != 0:
+            fail(c, "quota off but %d throttles recorded"
+                 % int(throttles))
+
+    # Fairness ablation: pair each offsetting-on cell with its
+    # offsetting-off twin; offsetting must strictly reduce
+    # cross-tenant conflict evictions.
+    by_key = {(c["tenants"], c["alpha"], c["budget"],
+               c["offsetting"]): c for c in cells}
+    paired = 0
+    for (tenants, alpha, budget, off), c in sorted(
+            by_key.items(), key=lambda kv: kv[1]["name"]):
+        if not off:
+            continue
+        twin = by_key.get((tenants, alpha, budget, False))
+        if twin is None:
+            continue
+        paired += 1
+        on_cross = c["summary"]["cross_evictions"]
+        off_cross = twin["summary"]["cross_evictions"]
+        if not on_cross < off_cross:
+            fail(c, "offsetting did not reduce cross-tenant "
+                 "evictions (on=%d, off=%d)"
+                 % (int(on_cross), int(off_cross)))
+        else:
+            print("[fleet-sweep] %s: cross evictions %d (on) < %d "
+                  "(off)" % (c["name"], int(on_cross),
+                             int(off_cross)))
+    if paired == 0:
+        bad.append("no offsetting on/off pairs in the grid; "
+                   "the fairness gate checked nothing")
+    return bad
+
+
+def main():
+    opts = parse_args()
+    if opts.smoke:
+        tenants = [64]
+        alphas = [0.0, 1.2]
+        budgets = ["off", "weighted"]
+    else:
+        tenants = [int(t) for t in opts.tenants.split(",")]
+        alphas = [float(a) for a in opts.alphas.split(",")]
+        budgets = [b.strip() for b in opts.budgets.split(",")]
+
+    cells = []
+    for t, a, b, off in itertools.product(tenants, alphas, budgets,
+                                          [True, False]):
+        cells.append(run_cell(opts, t, a, b, off))
+
+    rows = []
+    for c in cells:
+        s = c["summary"]
+        rows.append("%-22s evic %8d cross %8d throttle %7d "
+                    "p99 %8.1fus p999 %8.1fus" % (
+                        c["name"], s["evictions"],
+                        s["cross_evictions"], s["quota_throttles"],
+                        s["p99_us"], s["p999_us"]))
+    print("\n".join(rows))
+
+    with open(os.path.join(opts.out, "sweep_summary.json"), "w") as f:
+        json.dump([{k: c[k] for k in
+                    ("name", "tenants", "alpha", "budget",
+                     "offsetting", "summary", "conservation")}
+                   for c in cells], f, indent=1)
+
+    if opts.gate:
+        bad = gate_cells(cells)
+        if bad:
+            for b in bad:
+                sys.stderr.write("[fleet-sweep] GATE FAIL %s\n" % b)
+            return 1
+        print("[fleet-sweep] all gates hold (%d cells)" % len(cells))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

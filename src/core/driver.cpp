@@ -214,6 +214,18 @@ UtlbDriver::pageTable(ProcId pid)
     return *e->table;
 }
 
+// The lock covers only the directory probe: the table it resolves
+// is heap-owned by the entry's unique_ptr, so a concurrent rehash
+// moving the entry leaves the table object in place (see header).
+HostPageTable *
+UtlbDriver::pageTableShared(ProcId pid)
+{
+    Shard &s = shardFor(pid);
+    sim::LockGuard lk(s.mu);
+    DirEntry *e = findEntryLocked(s, pid);
+    return e ? e->table.get() : nullptr;
+}
+
 IoctlResult
 UtlbDriver::ioctlPinAndInstall(ProcId pid, Vpn start, std::size_t npages)
 {

@@ -114,6 +114,19 @@ class UtlbDriver
     HostPageTable &pageTable(mem::ProcId pid);
 
     /**
+     * pageTable()'s concurrent-safe twin: resolves the table under
+     * the shard lock, so the directory probe cannot race another
+     * tenant's register/unregister rehashing this shard (fleet churn
+     * does exactly that mid-translate). The returned object is
+     * heap-stable and outlives the lock; it stays valid until @p pid
+     * itself unregisters, which miss-path callers — the process' own
+     * view or a fill thread draining its tickets — preclude by
+     * construction.
+     * @return nullptr if @p pid is not registered.
+     */
+    HostPageTable *pageTableShared(mem::ProcId pid);
+
+    /**
      * An opaque reference to the shard that serves one process'
      * ioctls. Resolving the shard is a cheap hash, but callers that
      * issue many ioctls for one pid (PinManager, the fill threads)

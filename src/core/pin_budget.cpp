@@ -1,0 +1,63 @@
+#include "core/pin_budget.hpp"
+
+#include "sim/log.hpp"
+
+namespace utlb::core {
+
+PinBudget::PinBudget(std::size_t globalPages, QuotaMode m)
+    : global(globalPages), quotaMode(m)
+{
+}
+
+void
+PinBudget::attach(mem::ProcId pid, std::size_t capPages,
+                  std::size_t weight)
+{
+    sim::LockGuard g(mu);
+    Entry e{capPages, weight == 0 ? std::size_t{1} : weight};
+    auto [it, inserted] = entries.emplace(pid, e);
+    if (!inserted) {
+        sim::panic("PinBudget: pid %u attached twice", pid);
+    }
+    totalWeight += it->second.weight;
+    ++statAttaches;
+}
+
+void
+PinBudget::detach(mem::ProcId pid)
+{
+    sim::LockGuard g(mu);
+    auto it = entries.find(pid);
+    if (it == entries.end())
+        return;
+    totalWeight -= it->second.weight;
+    entries.erase(it);
+    ++statDetaches;
+}
+
+std::size_t
+PinBudget::limitFor(mem::ProcId pid) const
+{
+    sim::LockGuard g(mu);
+    auto it = entries.find(pid);
+    if (it == entries.end())
+        return 0;
+    if (quotaMode == QuotaMode::HardCap)
+        return it->second.cap != 0 ? it->second.cap : global;
+    // WeightedShare: an unlimited pool means unlimited shares; a
+    // bounded one is split by weight, floored at one page so every
+    // tenant can always make progress.
+    if (global == 0)
+        return 0;
+    std::size_t share = global * it->second.weight / totalWeight;
+    return share == 0 ? 1 : share;
+}
+
+std::size_t
+PinBudget::tenants() const
+{
+    sim::LockGuard g(mu);
+    return entries.size();
+}
+
+} // namespace utlb::core

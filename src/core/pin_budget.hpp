@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fleet-wide pin budget with per-tenant quotas.
+ *
+ * The paper's library budget (PinManagerConfig::memLimitPages) is
+ * strictly per-process: every tenant brings its own allowance, and
+ * nothing stops a thousand tenants from collectively pinning far
+ * more than the host allows. PinBudget models the operator-side
+ * fairness knob instead: one object shared by every PinManager in a
+ * fleet, handing each tenant a pin limit derived from a global page
+ * pool. Two modes, both ablatable against index offsetting in the
+ * fleet bench:
+ *
+ *   HardCap        every tenant gets a fixed cap (its own
+ *                  quotaCapPages, or the global pool size as the
+ *                  default) regardless of how many tenants exist —
+ *                  the restrictive end of Utopia's framing;
+ *   WeightedShare  the global pool is divided by attach weight:
+ *                  limit = globalPages * weight / totalWeight,
+ *                  recomputed as tenants attach and detach, so a
+ *                  tenant's allowance breathes with fleet churn —
+ *                  the flexible end.
+ *
+ * PinManager consults limitFor() on its pin slow path and treats the
+ * result as a second budget next to its own memLimitPages (the
+ * tighter one wins; evictions forced by the quota are counted
+ * separately as quota_throttles). A null budget pointer keeps
+ * PinManager bit-identical to the pre-quota behavior.
+ *
+ * Thread safety: fully internally locked (attach/detach run during
+ * fleet churn while other tenants' pin slow paths call limitFor
+ * concurrently). The mutex is a leaf: no callback ever runs under
+ * it, so it nests safely inside PinManager's own lock.
+ */
+
+#ifndef UTLB_CORE_PIN_BUDGET_HPP
+#define UTLB_CORE_PIN_BUDGET_HPP
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "mem/page.hpp"
+#include "sim/mutex.hpp"
+#include "sim/stats.hpp"
+
+namespace utlb::core {
+
+/** How a PinBudget turns the global pool into per-tenant limits. */
+enum class QuotaMode {
+    HardCap,       //!< fixed per-tenant cap, pool is the default cap
+    WeightedShare, //!< pool split proportionally to attach weights
+};
+
+/** Shared pin-page pool with per-tenant quota accounting. */
+class PinBudget
+{
+  public:
+    /**
+     * @param globalPages  the fleet-wide pin pool (0 = unlimited:
+     *                     limitFor always returns 0)
+     */
+    PinBudget(std::size_t globalPages, QuotaMode mode);
+
+    /**
+     * Register a tenant. @p capPages is the HardCap override (0 =
+     * use the global pool size); @p weight is the WeightedShare
+     * weight (0 is remapped to 1). Called by PinManager's ctor; the
+     * budget must outlive every attached manager.
+     */
+    void attach(mem::ProcId pid, std::size_t capPages,
+                std::size_t weight);
+
+    /** Drop a tenant (PinManager's dtor); reshapes weighted shares. */
+    void detach(mem::ProcId pid);
+
+    /**
+     * Current pin limit for @p pid in pages; 0 means unlimited.
+     * WeightedShare limits move as other tenants attach/detach, so a
+     * tenant may transiently hold more pages than its (shrunken)
+     * share — the quota only throttles future pins.
+     */
+    std::size_t limitFor(mem::ProcId pid) const;
+
+    /** Number of currently-attached tenants. */
+    std::size_t tenants() const;
+
+    QuotaMode mode() const { return quotaMode; }
+    std::size_t globalPages() const { return global; }
+
+    /** This budget's statistics subtree. */
+    sim::StatGroup &stats() { return statsGrp; }
+    const sim::StatGroup &stats() const { return statsGrp; }
+
+  private:
+    struct Entry {
+        std::size_t cap;
+        std::size_t weight;
+    };
+
+    mutable sim::Mutex mu;
+    std::unordered_map<mem::ProcId, Entry> entries UTLB_GUARDED_BY(mu);
+    std::size_t totalWeight UTLB_GUARDED_BY(mu) = 0;
+
+    const std::size_t global;
+    const QuotaMode quotaMode;
+
+    sim::StatGroup statsGrp{"pin_budget"};
+    sim::Counter statAttaches{&statsGrp, "attaches",
+                              "tenants registered over the lifetime"};
+    sim::Counter statDetaches{&statsGrp, "detaches",
+                              "tenants unregistered"};
+};
+
+} // namespace utlb::core
+
+#endif // UTLB_CORE_PIN_BUDGET_HPP

@@ -5,6 +5,7 @@
 #include "check/audit.hpp"
 #include "check/check.hpp"
 #include "core/driver.hpp"
+#include "core/pin_budget.hpp"
 #include "sim/log.hpp"
 
 namespace utlb::core {
@@ -19,6 +20,14 @@ PinManager::PinManager(UtlbDriver &drv, mem::ProcId pid,
       cfg(config),
       repl(ReplacementPolicy::create(cfg.policy, cfg.seed))
 {
+    if (cfg.budget)
+        cfg.budget->attach(procId, cfg.quotaCapPages, cfg.quotaWeight);
+}
+
+PinManager::~PinManager()
+{
+    if (cfg.budget)
+        cfg.budget->detach(procId);
 }
 
 void
@@ -136,11 +145,25 @@ PinManager::evictOne(EnsureResult &res)
 bool
 PinManager::pinRun(Vpn start, std::size_t npages, EnsureResult &res)
 {
-    // Make room under the library's own budget first.
-    if (cfg.memLimitPages != 0) {
-        while (bits.count() + npages > cfg.memLimitPages) {
+    // Make room under the effective budget first: the library's own
+    // limit, tightened by the fleet quota when one is configured.
+    // (A WeightedShare limit moves with churn, so it is re-read on
+    // every slow path, not cached.)
+    std::size_t limit = cfg.memLimitPages;
+    bool quotaBound = false;
+    if (cfg.budget) {
+        std::size_t q = cfg.budget->limitFor(procId);
+        if (q != 0 && (limit == 0 || q < limit)) {
+            limit = q;
+            quotaBound = true;
+        }
+    }
+    if (limit != 0) {
+        while (bits.count() + npages > limit) {
             if (!evictOne(res))
                 return false;
+            if (quotaBound)
+                ++statQuotaThrottles;
         }
     }
 

@@ -304,6 +304,7 @@ SharedUtlbCache::absorbShard(Shard &sh)
     statInserts.absorb(sh.inserts);
     statRefreshes.absorb(sh.refreshes);
     statEvictions.absorb(sh.evictions);
+    statCrossEvictions.absorb(sh.crossEvictions);
     statProbeLatency.absorb(sh.probeLatency);
 }
 
@@ -569,6 +570,8 @@ SharedUtlbCache::insertMT(ProcId pid, Vpn vpn, Pfn pfn,
     Cold &victim = cold[base + vw];
     EvictedEntry out{pidOfPacked(victim.pidVpn),
                      vpnOfPacked(victim.pidVpn), victim.pfn};
+    if (out.pid != pid)
+        ++sh.crossEvictions;
     seq.writeBegin();
     storeRelaxed(victim.pidVpn, pv);
     storeRelaxed(victim.pfn, pfn);
@@ -650,6 +653,8 @@ SharedUtlbCache::insert(ProcId pid, Vpn vpn, Pfn pfn, InsertMode mode)
     Cold &victim = cold[base + vw];
     EvictedEntry out{pidOfPacked(victim.pidVpn),
                      vpnOfPacked(victim.pidVpn), victim.pfn};
+    if (out.pid != pid)
+        ++statCrossEvictions;
     victim = Cold{pv, pfn, ++useClock};
     tagWords[base + vw] = key;
     ++statEvictions;
@@ -725,6 +730,38 @@ SharedUtlbCache::evictLruOfProcess(ProcId pid)
 std::size_t
 SharedUtlbCache::invalidateProcess(ProcId pid)
 {
+    if (concurrent()) {
+        // Process teardown (driver unregister) overlaps other
+        // tenants' live probes during fleet churn, so retire the
+        // process' lines set by set under the stripe lock, batching
+        // one seqlock write section around each set's kills —
+        // exactly invalidate()'s protocol, amortized. Stamps are
+        // scrubbed under the lock like killWay() does.
+        std::size_t count = 0;
+        for (std::size_t set = 0; set < numSets; ++set) {
+            std::size_t base = set * config.assoc;
+            sim::SpinGuard g(stripeOf(set));
+            bool open = false;
+            for (unsigned w = 0; w < config.assoc; ++w) {
+                Cold &c = cold[base + w];
+                if (tagWords[base + w] == 0
+                    || pidOfPacked(c.pidVpn) != pid)
+                    continue;
+                if (!open) {
+                    seqs[set].writeBegin();
+                    open = true;
+                }
+                storeRelaxed(tagWords[base + w], std::uint64_t{0});
+                c.lastUse = 0;
+                ++count;
+            }
+            if (open)
+                seqs[set].writeEnd();
+        }
+        if (count)
+            statInvalidations.addRelaxed(count);
+        return count;
+    }
     std::size_t count = 0;
     for (std::size_t idx = 0; idx < config.entries; ++idx) {
         if (tagWords[idx] != 0
@@ -868,6 +905,15 @@ SharedUtlbCache::audit(check::AuditReport &report) const
                    validEntries(), statsBaseValid,
                    static_cast<long long>(created),
                    static_cast<long long>(removed));
+
+    // Cross-tenant pollution is a classification of evictions, never
+    // a fourth removal path: it can only count a subset of them.
+    report.require(crossTenantEvictions() <= evictions(),
+                   "%llu cross-tenant evictions exceed the %llu total "
+                   "evictions they classify",
+                   static_cast<unsigned long long>(
+                       crossTenantEvictions()),
+                   static_cast<unsigned long long>(evictions()));
 
     // Seqlock quiescence: the audit runs with no writer in flight, so
     // every set's version counter must be even — an odd counter means

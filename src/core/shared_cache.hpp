@@ -213,10 +213,14 @@ class SharedUtlbCache
      * sequential twins, in the same order — the golden-equivalence
      * suite (tests/test_concurrency.cpp) pins that down bit-exactly.
      *
-     * Maintenance operations (clear, invalidateProcess,
-     * evictLruOfProcess, resetStats, audit, stats serialization)
-     * still require quiescence: call them only when no worker is in
-     * an MT entry point and all shards have been absorbed.
+     * Maintenance operations (clear, evictLruOfProcess, resetStats,
+     * audit, stats serialization) still require quiescence: call
+     * them only when no worker is in an MT entry point and all
+     * shards have been absorbed. invalidateProcess() is the
+     * exception: process teardown during fleet churn overlaps other
+     * tenants' probes, so in concurrent mode it retires a process'
+     * lines stripe by stripe under the same stripe-lock + seqlock
+     * protocol as invalidate().
      * @{
      */
 
@@ -238,6 +242,7 @@ class SharedUtlbCache
         std::uint64_t inserts = 0;
         std::uint64_t refreshes = 0;
         std::uint64_t evictions = 0;
+        std::uint64_t crossEvictions = 0;
         sim::HistAccum probeLatency;
 
         /** Unconsumed LRU stamps: [stampNext, stampEnd). */
@@ -391,6 +396,12 @@ class SharedUtlbCache
     std::uint64_t insertions() const { return statInserts.value(); }
     std::uint64_t refreshes() const { return statRefreshes.value(); }
     std::uint64_t evictions() const { return statEvictions.value(); }
+    /** Capacity evictions whose victim belonged to another process —
+     *  the cross-tenant pollution the fleet bench ablates. */
+    std::uint64_t crossTenantEvictions() const
+    {
+        return statCrossEvictions.value();
+    }
     std::uint64_t sheds() const { return statSheds.value(); }
     std::uint64_t invalidations() const
     {
@@ -599,6 +610,10 @@ class SharedUtlbCache
     sim::Counter statEvictions{&statsGrp, "evictions",
                                "capacity evictions (LRU displaced "
                                "by insert)"};
+    sim::Counter statCrossEvictions{&statsGrp, "cross_evictions",
+                                    "capacity evictions whose victim "
+                                    "belonged to another process "
+                                    "(subset of evictions)"};
     sim::Counter statSheds{&statsGrp, "sheds",
                            "forced per-process LRU removals "
                            "(pin-budget shedding)"};

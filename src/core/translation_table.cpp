@@ -38,6 +38,13 @@ NicTranslationTable::NicTranslationTable(nic::Sram &board_sram,
                         static_cast<std::uint32_t>(garbage_frame));
 }
 
+NicTranslationTable::~NicTranslationTable()
+{
+    // Return the region so a churning fleet can recycle the board:
+    // the driver serializes this (unregister path) against creates.
+    sram->free("utlb-table." + std::to_string(procId));
+}
+
 void
 NicTranslationTable::install(UtlbIndex index, Pfn pfn)
 {
@@ -227,6 +234,7 @@ HostPageTable::HostPageTable(mem::PhysMemory &host_mem, mem::ProcId pid,
         if (!addr)
             fatal("NIC SRAM exhausted allocating UTLB directory for "
                   "pid %u", pid);
+        boardSram = board_sram;
     }
 }
 
@@ -236,6 +244,8 @@ HostPageTable::~HostPageTable()
         if (!de.swapped && de.leafFrame != mem::kInvalidPfn)
             hostMem->freeFrame(de.leafFrame);
     });
+    if (boardSram)
+        boardSram->free("utlb-dir." + std::to_string(procId));
 }
 
 HostPageTable::DirEntry *

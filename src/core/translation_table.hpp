@@ -61,6 +61,13 @@ class NicTranslationTable
     NicTranslationTable(nic::Sram &board_sram, mem::ProcId pid,
                         std::size_t entries, mem::Pfn garbage_frame);
 
+    /** Releases the table's SRAM region back to the board. */
+    ~NicTranslationTable();
+
+    NicTranslationTable(const NicTranslationTable &) = delete;
+    NicTranslationTable &operator=(const NicTranslationTable &) =
+        delete;
+
     mem::ProcId pid() const { return procId; }
     std::size_t entries() const { return numEntries; }
     mem::Pfn garbageFrame() const { return garbagePfn; }
@@ -292,6 +299,10 @@ class HostPageTable
 
     mem::PhysMemory *hostMem;
     mem::ProcId procId;
+    /** Board that holds the directory region; null if none was
+     *  claimed. Kept so teardown can return the region (fleet churn
+     *  must not leak SRAM). */
+    nic::Sram *boardSram = nullptr;
     LeafDir dir;
     std::size_t numValid = 0;
 

@@ -16,7 +16,12 @@ serviceMiss(UtlbDriver &driver, SharedUtlbCache &cache,
             SharedUtlbCache::Shard *shard, sim::Tracer *tracer)
 {
     MissOutcome mo;
-    HostPageTable &table = driver.pageTable(pid);
+    // Locked resolve: fleet churn registers/unregisters other
+    // tenants on this shard while this miss is in flight.
+    HostPageTable *tablePtr = driver.pageTableShared(pid);
+    if (!tablePtr)
+        sim::panic("serviceMiss for unregistered process %u", pid);
+    HostPageTable &table = *tablePtr;
     table.readRun(vpn, width, runBuf);
     auto &run = runBuf;
 

@@ -18,6 +18,33 @@ Sram::alloc(const std::string &name, std::size_t size)
 {
     if (size == 0)
         panic("Sram::alloc of zero bytes for region '%s'", name.c_str());
+    // First-fit from the freed-region holes: tenant churn frees and
+    // reclaims same-sized per-process regions, so the first hole
+    // usually fits exactly. Hole bases are 8-aligned by
+    // construction (every region base is), so no re-align needed.
+    for (std::size_t i = 0; i < holes.size(); ++i) {
+        Hole &h = holes[i];
+        if (h.size < size)
+            continue;
+        SramAddr base = h.base;
+        std::size_t leftover = h.size - size;
+        holeBytes -= size;
+        if (leftover >= 8) {
+            h.base = static_cast<SramAddr>((base + size + 7)
+                                           & ~std::size_t{7});
+            std::size_t pad = (h.base - base) - size;
+            h.size = leftover - pad;
+            holeBytes -= pad;
+        } else {
+            holeBytes -= leftover;
+            holes.erase(holes.begin()
+                        + static_cast<std::ptrdiff_t>(i));
+        }
+        regions.push_back(Region{name, base, size});
+        ++statAllocs;
+        statAllocBytes += size;
+        return base;
+    }
     // Align regions to 8 bytes.
     std::size_t base = (nextFree + 7) & ~std::size_t{7};
     if (base + size > bytes.size())
@@ -27,6 +54,31 @@ Sram::alloc(const std::string &name, std::size_t size)
     ++statAllocs;
     statAllocBytes += size;
     return static_cast<SramAddr>(base);
+}
+
+bool
+Sram::free(const std::string &name)
+{
+    // Per-pid regions churn newest-first, so search from the back.
+    for (std::size_t i = regions.size(); i-- > 0;) {
+        if (regions[i].name != name)
+            continue;
+        Region r = regions[i];
+        regions.erase(regions.begin()
+                      + static_cast<std::ptrdiff_t>(i));
+        // Scrub: a stale directory must not be readable through a
+        // recycled region.
+        std::fill(bytes.begin() + r.base,
+                  bytes.begin() + r.base
+                      + static_cast<std::ptrdiff_t>(r.size),
+                  std::uint8_t{0});
+        holes.push_back(Hole{r.base, r.size});
+        holeBytes += r.size;
+        ++statFrees;
+        statFreedBytes += r.size;
+        return true;
+    }
+    return false;
 }
 
 std::optional<SramAddr>
@@ -96,6 +148,8 @@ Sram::reset()
 {
     std::fill(bytes.begin(), bytes.end(), 0);
     regions.clear();
+    holes.clear();
+    holeBytes = 0;
     nextFree = 0;
 }
 

@@ -31,9 +31,20 @@ inline constexpr std::size_t kDefaultSramBytes = 1u << 20;
 /**
  * NIC static RAM with named-region allocation.
  *
- * Regions are never freed individually (firmware data structures are
- * set up once at initialization, as on the real board); reset() wipes
- * everything.
+ * Long-lived firmware structures (the Shared UTLB-Cache, command
+ * posts) are set up once at initialization, as on the real board,
+ * and live forever. Per-process regions (page directories, per-pid
+ * translation tables) come and go with tenant churn, so regions can
+ * be freed individually: a freed region becomes a hole that later
+ * allocations reuse first-fit before falling back to the bump
+ * pointer. Without this, a fleet attaching and tearing down
+ * thousands of processes exhausts the board in minutes. reset()
+ * still wipes everything.
+ *
+ * Thread safety: none. Callers serialize allocation and free — in
+ * practice both only happen under the driver's registry mutex
+ * (register/unregisterProcess); the translate hot path never
+ * touches SRAM metadata.
  */
 class Sram
 {
@@ -41,15 +52,24 @@ class Sram
     explicit Sram(std::size_t capacity = kDefaultSramBytes);
 
     std::size_t capacity() const { return bytes.size(); }
-    std::size_t used() const { return nextFree; }
-    std::size_t available() const { return bytes.size() - nextFree; }
+    /** Bytes held by live regions plus alignment padding. */
+    std::size_t used() const { return nextFree - holeBytes; }
+    std::size_t available() const { return bytes.size() - used(); }
 
     /**
-     * Allocate @p size bytes for region @p name.
+     * Allocate @p size bytes for region @p name, reusing a freed
+     * hole when one fits.
      * @return the region base, or nullopt if SRAM is exhausted.
      */
     std::optional<SramAddr> alloc(const std::string &name,
                                   std::size_t size);
+
+    /**
+     * Free the named region, zeroing its bytes and turning it into
+     * a reusable hole.
+     * @return false if no such region exists.
+     */
+    bool free(const std::string &name);
 
     /** Base of a named region, or nullopt. */
     std::optional<SramAddr> regionBase(const std::string &name) const;
@@ -83,10 +103,18 @@ class Sram
         std::size_t size;
     };
 
+    /** A freed region available for reuse. */
+    struct Hole {
+        SramAddr base;
+        std::size_t size;
+    };
+
     void checkRange(SramAddr addr, std::size_t len) const;
 
     std::vector<std::uint8_t> bytes;
     std::vector<Region> regions;
+    std::vector<Hole> holes;
+    std::size_t holeBytes = 0;
     std::size_t nextFree = 0;
 
     sim::StatGroup statsGrp{"sram"};
@@ -94,6 +122,10 @@ class Sram
                             "named regions claimed"};
     sim::Counter statAllocBytes{&statsGrp, "alloc_bytes",
                                 "bytes claimed by regions"};
+    sim::Counter statFrees{&statsGrp, "region_frees",
+                           "named regions released"};
+    sim::Counter statFreedBytes{&statsGrp, "freed_bytes",
+                                "bytes released by region frees"};
     mutable sim::Counter statReads{&statsGrp, "reads",
                                    "read accesses (byte spans and "
                                    "words)"};

@@ -1,0 +1,91 @@
+#include "sim/tenant_fleet.hpp"
+
+#include "sim/log.hpp"
+
+namespace utlb::sim {
+
+TenantFleet::TenantFleet(const FleetConfig &c)
+    : cfg(c),
+      rng(c.seed),
+      zipf(c.tenants * c.buffersPerTenant, c.zipfAlpha,
+           c.seed ^ 0x5eed21fULL),
+      liveState(c.tenants, 1),
+      liveCount(c.tenants)
+{
+    if (cfg.tenants == 0 || cfg.buffersPerTenant == 0)
+        panic("TenantFleet needs at least one tenant and buffer");
+    // Scatter the popularity ranks over (tenant, buffer) pairs with
+    // a seeded Fisher-Yates shuffle: rank r (hotness order) maps to
+    // an arbitrary global buffer id, so skew does not correlate with
+    // tenant number.
+    std::size_t n = cfg.tenants * cfg.buffersPerTenant;
+    rankToBuffer.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rankToBuffer[i] = static_cast<std::uint32_t>(i);
+    Rng shuffle(cfg.seed ^ 0x9e3779b9ULL);
+    for (std::size_t i = n - 1; i > 0; --i) {
+        std::size_t j = shuffle.below(i + 1);
+        std::swap(rankToBuffer[i], rankToBuffer[j]);
+    }
+}
+
+/**
+ * One churn burst: toggle `churnBurst` randomly-chosen tenants. A
+ * live pick tears down, a dead pick re-attaches — so a bursty phase
+ * naturally mixes teardown storms with recovery. The last live
+ * tenant is never torn down (the stream must always be able to make
+ * forward progress).
+ */
+void
+TenantFleet::burst()
+{
+    for (std::size_t k = 0; k < cfg.churnBurst; ++k) {
+        std::size_t t = rng.below(cfg.tenants);
+        if (liveState[t]) {
+            if (liveCount <= 1)
+                continue;
+            liveState[t] = 0;
+            --liveCount;
+            pending.push_back({FleetOp::Kind::Detach,
+                               static_cast<std::uint32_t>(t), 0});
+        } else {
+            liveState[t] = 1;
+            ++liveCount;
+            pending.push_back({FleetOp::Kind::Attach,
+                               static_cast<std::uint32_t>(t), 0});
+        }
+    }
+}
+
+FleetOp
+TenantFleet::next()
+{
+    for (;;) {
+        if (!pending.empty()) {
+            FleetOp op = pending.front();
+            pending.pop_front();
+            return op;
+        }
+        if (cfg.churnProbability > 0.0
+            && rng.chance(cfg.churnProbability)) {
+            burst();
+            continue;
+        }
+        std::uint32_t id = rankToBuffer[zipf.next()];
+        std::uint32_t t = id
+            / static_cast<std::uint32_t>(cfg.buffersPerTenant);
+        std::uint32_t b = id
+            % static_cast<std::uint32_t>(cfg.buffersPerTenant);
+        if (!liveState[t]) {
+            // Demand re-attach: the translate lands right after.
+            liveState[t] = 1;
+            ++liveCount;
+            pending.push_back({FleetOp::Kind::Attach, t, 0});
+            pending.push_back({FleetOp::Kind::Translate, t, b});
+            continue;
+        }
+        return {FleetOp::Kind::Translate, t, b};
+    }
+}
+
+} // namespace utlb::sim

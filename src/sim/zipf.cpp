@@ -1,0 +1,61 @@
+#include "sim/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hpp"
+
+namespace utlb::sim {
+
+namespace {
+
+/**
+ * 1/rank^alpha with an exact-arithmetic path for integral alpha.
+ * Repeated multiplication keeps the weight table bit-identical
+ * across libms, which is what lets tests pin exact sample streams.
+ */
+double
+rankWeight(std::size_t rank, double alpha)
+{
+    if (alpha == 0.0)
+        return 1.0;
+    double a = std::floor(alpha);
+    if (a == alpha && alpha > 0.0 && alpha <= 8.0) {
+        double w = 1.0;
+        for (unsigned k = 0; k < static_cast<unsigned>(a); ++k)
+            w *= static_cast<double>(rank);
+        return 1.0 / w;
+    }
+    return 1.0
+        / std::pow(static_cast<double>(rank), alpha);
+}
+
+} // namespace
+
+ZipfPicker::ZipfPicker(std::size_t n, double alpha, std::uint64_t seed)
+    : rng(seed)
+{
+    if (n == 0)
+        panic("ZipfPicker over zero ranks");
+    cdf.reserve(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += rankWeight(i + 1, alpha);
+        cdf.push_back(sum);
+    }
+    for (double &c : cdf)
+        c /= sum;
+}
+
+std::size_t
+ZipfPicker::next()
+{
+    double u = rng.uniform();
+    std::size_t r = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    // u == 1.0 cannot happen (uniform() < 1), but guard the edge
+    // where accumulated rounding leaves cdf.back() a hair under u.
+    return r < cdf.size() ? r : cdf.size() - 1;
+}
+
+} // namespace utlb::sim
